@@ -1,0 +1,70 @@
+// Command uplan-bench regenerates the paper's benchmarking artifacts
+// (application A.3): Table VI (TPC-H operation counts across five DBMSs),
+// Table VII (YCSB on MongoDB, WDBench on Neo4j), Figure 4 (Producer-count
+// variance per query), and the Listing 4 q11 analysis.
+//
+// Usage:
+//
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uplan/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "data generator seed")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11")
+	flag.Parse()
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "uplan-bench:", err)
+		os.Exit(1)
+	}
+
+	if run("table6") || run("figure4") {
+		reports, err := bench.RunTableVI(*seed)
+		if err != nil {
+			fail(err)
+		}
+		if run("table6") {
+			fmt.Println("== Table VI: average operations per category (TPC-H) ==")
+			fmt.Print(bench.FormatCategoryTable(reports))
+			fmt.Println()
+		}
+		if run("figure4") {
+			vs := bench.ProducerVariance(reports)
+			fmt.Println("== Figure 4: Producer-count variance per TPC-H query ==")
+			fmt.Print(bench.FormatVarianceSeries(vs))
+			fmt.Printf("high variance (>5): q%v\n\n", bench.HighVarianceQueries(vs, 5))
+		}
+	}
+	if run("table7") {
+		reports, err := bench.RunTableVII(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Table VII: YCSB (MongoDB) and WDBench (Neo4j) ==")
+		fmt.Print(bench.FormatCategoryTable(reports))
+		fmt.Println()
+	}
+	if run("q11") {
+		a, err := bench.RunQ11(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Listing 4 / q11 analysis ==")
+		fmt.Println("--- PostgreSQL (unified) ---")
+		fmt.Print(a.PostgresPlan.MarshalIndentedText())
+		fmt.Println("--- TiDB (unified) ---")
+		fmt.Print(a.TiDBPlan.MarshalIndentedText())
+		fmt.Printf("full table scans: postgresql=%d tidb=%d\n", a.PGScans, a.TiDBScans)
+		fmt.Printf("redundant scan time: %.3f ms of %.3f ms (%.0f%%)\n",
+			a.RedundantMS, a.TotalMS, a.SavingsFraction()*100)
+	}
+}

@@ -1,0 +1,59 @@
+// Command uplan-viz renders a DBMS-native serialized query plan as an
+// ASCII tree, Graphviz DOT, or a self-contained HTML page, through the
+// unified representation (paper application A.2: one visualizer for every
+// DBMS).
+//
+// Usage:
+//
+//	uplan-viz -dialect mysql -renderer html [plan-file] > plan.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uplan/internal/convert"
+	"uplan/internal/viz"
+)
+
+func main() {
+	dialect := flag.String("dialect", "", "source DBMS dialect: "+strings.Join(convert.Dialects(), ", "))
+	renderer := flag.String("renderer", "ascii", "renderer: ascii, dot, html")
+	title := flag.String("title", "UPlan query plan", "title for the HTML renderer")
+	flag.Parse()
+	if *dialect == "" {
+		fmt.Fprintln(os.Stderr, "uplan-viz: -dialect is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var input []byte
+	var err error
+	if flag.NArg() > 0 {
+		input, err = os.ReadFile(flag.Arg(0))
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uplan-viz:", err)
+		os.Exit(1)
+	}
+	plan, err := convert.Convert(*dialect, string(input))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uplan-viz:", err)
+		os.Exit(1)
+	}
+	switch *renderer {
+	case "ascii":
+		fmt.Print(viz.ASCII(plan))
+	case "dot":
+		fmt.Print(viz.DOT(plan))
+	case "html":
+		fmt.Print(viz.HTML(*title, plan))
+	default:
+		fmt.Fprintf(os.Stderr, "uplan-viz: unknown renderer %q\n", *renderer)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Command uplan converts a DBMS-native serialized query plan (EXPLAIN
+// output read from a file or stdin) into the unified query plan
+// representation, printed as indented text, strict EBNF text, or JSON.
+//
+// Usage:
+//
+//	uplan -dialect postgresql [-format text|ebnf|json] [plan-file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uplan/internal/convert"
+)
+
+func main() {
+	dialect := flag.String("dialect", "", "source DBMS dialect: "+strings.Join(convert.Dialects(), ", "))
+	format := flag.String("format", "text", "output format: text (indented), ebnf (strict grammar), json")
+	flag.Parse()
+	if *dialect == "" {
+		fmt.Fprintln(os.Stderr, "uplan: -dialect is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var input []byte
+	var err error
+	if flag.NArg() > 0 {
+		input, err = os.ReadFile(flag.Arg(0))
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uplan:", err)
+		os.Exit(1)
+	}
+	plan, err := convert.Convert(*dialect, string(input))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uplan:", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "text":
+		fmt.Print(plan.MarshalIndentedText())
+	case "ebnf":
+		fmt.Println(plan.MarshalText())
+	case "json":
+		data, err := plan.MarshalJSONIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uplan:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Fprintf(os.Stderr, "uplan: unknown output format %q\n", *format)
+		os.Exit(2)
+	}
+}

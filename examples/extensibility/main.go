@@ -1,0 +1,78 @@
+// Extensibility: the paper's Section IV-B walkthrough — a hypothetical
+// PostgreSQL "LLM Join" operator is added to the registry with one call,
+// plans using it convert and visualize without touching any application
+// code, and older applications degrade gracefully via Downgrade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uplan/internal/convert"
+	"uplan/internal/core"
+	"uplan/internal/viz"
+)
+
+// futurePlan is EXPLAIN output from a future PostgreSQL with an LLM-based
+// join operator.
+const futurePlan = `LLM Join  (cost=100.00..500.00 rows=42 width=16)
+  Join Prompt: match customers to support tickets
+  ->  Seq Scan on customers  (cost=0.00..35.50 rows=2550 width=8)
+  ->  Seq Scan on tickets  (cost=0.00..35.50 rows=900 width=8)
+`
+
+func main() {
+	// 1. Unknown operators do not break conversion: the generic fallback
+	// classifies them as Executor operations.
+	plan, err := convert.Convert("postgresql", futurePlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== before registering the keyword (generic fallback) ==")
+	fmt.Printf("root operation: %s\n\n", plan.Root.Op)
+
+	// 2. Registering the keyword takes two calls (the paper: "adding the
+	// keyword LLM Join ... without impacting the rest").
+	reg := core.DefaultRegistry()
+	reg.AddOperation("LLM Join", core.Join, "join computed by a large language model")
+	if err := reg.AliasOperation("postgresql", "LLM Join", "LLM Join"); err != nil {
+		log.Fatal(err)
+	}
+	conv, err := convert.For("postgresql", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err = conv.Convert(futurePlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== after registering the keyword ==")
+	fmt.Printf("root operation: %s (registry version %d)\n\n", plan.Root.Op, reg.Version())
+
+	// 3. Forward compatibility: the visualization tool renders the new
+	// operator with no modification.
+	fmt.Println("== visualized without any renderer change ==")
+	fmt.Print(viz.ASCII(plan))
+
+	// 4. Backward compatibility: an application built against a grammar
+	// that never heard of "LLM Join" downgrades it to a generic operation
+	// instead of failing.
+	old := core.CurrentKnownSet()
+	old.Operations = map[string]bool{
+		"Full Table Scan": true, "Hash Join": true, "Sort": true,
+	}
+	downgraded := core.Downgrade(plan, old)
+	fmt.Println("\n== downgraded for an older application ==")
+	fmt.Printf("root operation: %s\n", downgraded.Root.Op)
+	if pr, ok := downgraded.Root.Property("original operation"); ok {
+		fmt.Printf("original preserved as property: %s\n", pr.Value.Str)
+	}
+
+	// 5. Deprecation: removing the keyword restores the generic handling.
+	reg.RemoveOperation("LLM Join")
+	plan, err = conv.Convert(futurePlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter removal, root operation: %s\n", plan.Root.Op)
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/dbms"
+)
+
+func TestTPCHLoadsAndQueriesPlanEverywhere(t *testing.T) {
+	queries := TPCHQueries()
+	if len(queries) != 22 {
+		t.Fatalf("TPC-H has %d queries, want 22", len(queries))
+	}
+	for _, name := range TableVIEngines {
+		e := dbms.MustNew(name)
+		if err := LoadTPCH(e, 42, DefaultSizes()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := CollectPlans(e, queries)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Failed) > 0 {
+			for _, q := range rep.Failed {
+				out, err := e.Explain(queries[q], e.DefaultFormat())
+				t.Logf("%s q%d explain err=%v out=%.200s", name, q+1, err, out)
+			}
+			t.Fatalf("%s: failed queries %v", name, rep.Failed)
+		}
+		if len(rep.Plans) != 22 {
+			t.Fatalf("%s: %d plans", name, len(rep.Plans))
+		}
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	reports, err := RunTableVI(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]core.CategoryHistogram{}
+	for _, r := range reports {
+		avg[r.Engine] = r.Average()
+	}
+	sum := func(e string) float64 { return avg[e].Sum() }
+
+	// Paper Table VI shape: MongoDB has exactly 1 Producer + 1 Projector;
+	// relational engines are an order of magnitude larger;
+	// TiDB > PostgreSQL > MySQL; Neo4j in between.
+	if avg["mongodb"][core.Producer] != 1 {
+		t.Errorf("mongodb producers = %v, want 1.00", avg["mongodb"][core.Producer])
+	}
+	if s := sum("mongodb"); s < 1.5 || s > 2.5 {
+		t.Errorf("mongodb total = %.2f, want ≈2.00", s)
+	}
+	if !(sum("tidb") > sum("postgresql") && sum("postgresql") > sum("mysql")) {
+		t.Errorf("ordering broken: tidb=%.2f postgresql=%.2f mysql=%.2f",
+			sum("tidb"), sum("postgresql"), sum("mysql"))
+	}
+	if sum("mysql") < 5 {
+		t.Errorf("mysql total = %.2f, too small", sum("mysql"))
+	}
+	if sum("neo4j") >= sum("mysql")+3 || sum("neo4j") <= sum("mongodb") {
+		t.Errorf("neo4j total = %.2f out of expected band (mongodb %.2f, mysql %.2f)",
+			sum("neo4j"), sum("mongodb"), sum("mysql"))
+	}
+	// MySQL and PostgreSQL expose no Projector operations (Table II/VI).
+	if avg["mysql"][core.Projector] != 0 || avg["postgresql"][core.Projector] != 0 {
+		t.Errorf("projector ops: mysql=%v postgresql=%v",
+			avg["mysql"][core.Projector], avg["postgresql"][core.Projector])
+	}
+	// TiDB plans include projections.
+	if avg["tidb"][core.Projector] < 0.5 {
+		t.Errorf("tidb projector = %v, want ≥0.5", avg["tidb"][core.Projector])
+	}
+	// Render the table (smoke).
+	if out := FormatCategoryTable(reports); len(out) < 100 {
+		t.Error("table rendering too small")
+	}
+}
+
+func TestFigure4Variance(t *testing.T) {
+	reports, err := RunTableVI(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := ProducerVariance(reports)
+	if len(vs) != 22 {
+		t.Fatalf("variance series length %d", len(vs))
+	}
+	high := HighVarianceQueries(vs, 5)
+	if len(high) < 3 {
+		t.Errorf("expected several high-variance queries (paper: six >5), got %v", high)
+	}
+	// q11 must be among the significant-variance queries (Listing 4).
+	foundQ11 := false
+	for _, q := range HighVarianceQueries(vs, 1) {
+		if q == 11 {
+			foundQ11 = true
+		}
+	}
+	if !foundQ11 {
+		t.Errorf("q11 should show significant producer variance: %v", vs[10])
+	}
+	if out := FormatVarianceSeries(vs); len(out) < 100 {
+		t.Error("variance rendering too small")
+	}
+}
+
+func TestQ11Analysis(t *testing.T) {
+	a, err := RunQ11(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Listing 4 shape: PostgreSQL reads each of the three tables twice,
+	// TiDB avoids the redundant scans.
+	if a.PGScans < a.TiDBScans+2 {
+		t.Errorf("PostgreSQL should need more table reads: pg=%d tidb=%d",
+			a.PGScans, a.TiDBScans)
+	}
+	if a.PGScans != 6 {
+		t.Logf("note: pg producer count = %d (paper: 6)", a.PGScans)
+	}
+	// Timing shares depend on the substrate: in-memory scans are cheap
+	// relative to joins, so the measured share is well below the paper's
+	// disk-bound 27% (see EXPERIMENTS.md). The structural fact — a
+	// positive, attributable redundant-scan cost — must hold.
+	frac := a.SavingsFraction()
+	if a.RedundantMS <= 0 || frac <= 0 || frac >= 0.95 {
+		t.Errorf("redundant-scan share = %.3f (redundant %.3fms), want positive", frac, a.RedundantMS)
+	}
+	t.Logf("pg scans=%d tidb scans=%d redundant=%.3fms total=%.3fms fraction=%.1f%%",
+		a.PGScans, a.TiDBScans, a.RedundantMS, a.TotalMS, frac*100)
+}
+
+func TestTableVIIShape(t *testing.T) {
+	reports, err := RunTableVII(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mongo, neo := reports[0].Average(), reports[1].Average()
+	// YCSB point reads: a single producer, no projection (SELECT *).
+	if mongo[core.Producer] < 0.9 || mongo[core.Projector] != 0 {
+		t.Errorf("mongodb YCSB histogram: %v", mongo)
+	}
+	if s := mongo.Sum(); s > 2.2 {
+		t.Errorf("mongodb YCSB total = %.2f, want ≈1", s)
+	}
+	// WDBench: traversal-heavy, no Combinator/Folder (paper Table VII).
+	if neo[core.Join] < 1 {
+		t.Errorf("neo4j WDBench joins = %v, want ≥1", neo[core.Join])
+	}
+	if neo[core.Combinator] != 0 || neo[core.Folder] != 0 {
+		t.Errorf("neo4j WDBench should expose no Combinator/Folder ops: %v", neo)
+	}
+}
+
+func TestDataDeterminism(t *testing.T) {
+	a := TPCHData(42, DefaultSizes())
+	b := TPCHData(42, DefaultSizes())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic statement count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic data at %d", i)
+		}
+	}
+	c := TPCHData(43, DefaultSizes())
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different data")
+	}
+}

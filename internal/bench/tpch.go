@@ -1,0 +1,312 @@
+// Package bench implements the paper's benchmarking workloads and the
+// cross-DBMS plan-comparison metrics of application A.3: a scaled-down
+// deterministic TPC-H (schema, data generator, all 22 queries adapted to
+// the engines' SQL subset), a YCSB-style workload for MongoDB, a
+// WDBench-style graph-pattern workload for Neo4j, and the operation
+// statistics behind Tables VI/VII, Figure 4, and the q11 analysis of
+// Listing 4.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"uplan/internal/dbms"
+)
+
+// TPCHSchema is the simplified TPC-H DDL (8 tables; dates are TEXT in
+// ISO-8601 so lexicographic comparison matches date order).
+var TPCHSchema = []string{
+	`CREATE TABLE region (r_regionkey INT PRIMARY KEY, r_name TEXT)`,
+	`CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name TEXT, n_regionkey INT)`,
+	`CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name TEXT, s_nationkey INT, s_acctbal FLOAT, s_comment TEXT)`,
+	`CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name TEXT, c_nationkey INT, c_acctbal FLOAT, c_mktsegment TEXT, c_phone TEXT)`,
+	`CREATE TABLE part (p_partkey INT PRIMARY KEY, p_name TEXT, p_mfgr TEXT, p_brand TEXT, p_type TEXT, p_size INT, p_container TEXT, p_retailprice FLOAT)`,
+	`CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, ps_supplycost FLOAT)`,
+	`CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, o_orderstatus TEXT, o_totalprice FLOAT, o_orderdate TEXT, o_orderpriority TEXT, o_shippriority INT)`,
+	`CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag TEXT, l_linestatus TEXT, l_shipdate TEXT, l_commitdate TEXT, l_receiptdate TEXT, l_shipinstruct TEXT, l_shipmode TEXT)`,
+}
+
+// TPCHIndexes are the indexes a tuned deployment carries (primary keys are
+// implicit); they let engines exhibit index-based plans (TiDB's q11 idiom).
+var TPCHIndexes = []string{
+	`CREATE INDEX idx_ps_suppkey ON partsupp (ps_suppkey, ps_supplycost, ps_availqty)`,
+	`CREATE INDEX idx_ps_partkey ON partsupp (ps_partkey)`,
+	`CREATE INDEX idx_l_orderkey ON lineitem (l_orderkey)`,
+	`CREATE INDEX idx_o_custkey ON orders (o_custkey)`,
+	`CREATE INDEX idx_s_suppkey ON supplier (s_suppkey, s_nationkey)`,
+}
+
+// TPCHSizes is the scaled-down population (deterministic; roughly SF 1/4000
+// in row-count proportions).
+type TPCHSizes struct {
+	Region, Nation, Supplier, Customer, Part, PartSupp, Orders, LineItem int
+}
+
+// DefaultSizes returns the population used by the benchmark harness.
+func DefaultSizes() TPCHSizes {
+	return TPCHSizes{
+		Region: 5, Nation: 25, Supplier: 12, Customer: 30,
+		Part: 25, PartSupp: 60, Orders: 60, LineItem: 180,
+	}
+}
+
+var (
+	regionNames  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments     = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+	priorities   = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes    = []string{"MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "FOB", "REG AIR"}
+	types        = []string{"ECONOMY BRASS", "STANDARD COPPER", "PROMO STEEL", "SMALL TIN", "LARGE NICKEL"}
+	containers   = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO PACK", "WRAP JAR"}
+	returnFlags  = []string{"R", "A", "N"}
+	lineStatuses = []string{"O", "F"}
+)
+
+func dateStr(r *rand.Rand) string {
+	return fmt.Sprintf("19%02d-%02d-%02d", 92+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28))
+}
+
+// TPCHData generates deterministic INSERT statements for the population.
+func TPCHData(seed int64, sz TPCHSizes) []string {
+	r := rand.New(rand.NewSource(seed))
+	var stmts []string
+	add := func(table string, rows []string) {
+		if len(rows) > 0 {
+			stmts = append(stmts, "INSERT INTO "+table+" VALUES "+strings.Join(rows, ", "))
+		}
+	}
+	var rows []string
+	for i := 0; i < sz.Region; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, '%s')", i, regionNames[i%len(regionNames)]))
+	}
+	add("region", rows)
+	rows = nil
+	for i := 0; i < sz.Nation; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'NATION%02d', %d)", i, i, i%sz.Region))
+	}
+	add("nation", rows)
+	rows = nil
+	for i := 0; i < sz.Supplier; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Supplier%03d', %d, %.2f, 'comment %d Customer Complaints')",
+			i, i, r.Intn(sz.Nation), r.Float64()*10000-1000, i))
+	}
+	add("supplier", rows)
+	rows = nil
+	for i := 0; i < sz.Customer; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Customer%04d', %d, %.2f, '%s', '%02d-555-%04d')",
+			i, i, r.Intn(sz.Nation), r.Float64()*9000, segments[r.Intn(len(segments))], 10+r.Intn(25), r.Intn(10000)))
+	}
+	add("customer", rows)
+	rows = nil
+	for i := 0; i < sz.Part; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'part %s name %d', 'MFGR%d', 'Brand%d%d', '%s', %d, '%s', %.2f)",
+			i, []string{"green", "blue", "red", "ivory"}[r.Intn(4)], i,
+			1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5), types[r.Intn(len(types))],
+			1+r.Intn(50), containers[r.Intn(len(containers))], 900+r.Float64()*200))
+	}
+	add("part", rows)
+	rows = nil
+	for i := 0; i < sz.PartSupp; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %.2f)",
+			i%sz.Part, (i*7)%sz.Supplier, r.Intn(10000), r.Float64()*1000))
+	}
+	add("partsupp", rows)
+	rows = nil
+	for i := 0; i < sz.Orders; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, '%s', %.2f, '%s', '%s', %d)",
+			i, r.Intn(sz.Customer), []string{"O", "F", "P"}[r.Intn(3)],
+			1000+r.Float64()*100000, dateStr(r), priorities[r.Intn(len(priorities))], r.Intn(2)))
+	}
+	add("orders", rows)
+	rows = nil
+	for i := 0; i < sz.LineItem; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %d, %.1f, %.2f, %.2f, %.2f, '%s', '%s', '%s', '%s', '%s', 'DELIVER IN PERSON', '%s')",
+			r.Intn(sz.Orders), r.Intn(sz.Part), r.Intn(sz.Supplier), 1+i%7,
+			1+float64(r.Intn(50)), 900+r.Float64()*1000, r.Float64()*0.1, r.Float64()*0.08,
+			returnFlags[r.Intn(len(returnFlags))], lineStatuses[r.Intn(len(lineStatuses))],
+			dateStr(r), dateStr(r), dateStr(r), shipmodes[r.Intn(len(shipmodes))]))
+	}
+	add("lineitem", rows)
+	return stmts
+}
+
+// LoadTPCH creates the schema, data, and indexes on an engine and runs
+// ANALYZE.
+func LoadTPCH(e *dbms.Engine, seed int64, sz TPCHSizes) error {
+	var stmts []string
+	stmts = append(stmts, TPCHSchema...)
+	stmts = append(stmts, TPCHData(seed, sz)...)
+	stmts = append(stmts, TPCHIndexes...)
+	for _, s := range stmts {
+		if _, err := e.Execute(s); err != nil {
+			return fmt.Errorf("bench: load tpch on %s: %q: %w", e.Info.Name, head(s), err)
+		}
+	}
+	return e.Analyze()
+}
+
+func head(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "…"
+	}
+	return s
+}
+
+// TPCHQueries returns the 22 TPC-H queries adapted to the engines' SQL
+// subset (per the paper's own practice of rewriting queries for engines
+// that cannot run them natively). The adaptations preserve each query's
+// plan-relevant shape: table references, join count, grouping, ordering,
+// and subquery structure. Index 0 holds q1.
+func TPCHQueries() []string {
+	return []string{
+		// q1: single-table aggregation over lineitem.
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice),
+		 SUM(l_extendedprice * (1 - l_discount)), AVG(l_quantity), AVG(l_extendedprice),
+		 AVG(l_discount), COUNT(*)
+		 FROM lineitem WHERE l_shipdate <= '1998-09-02'
+		 GROUP BY l_returnflag, l_linestatus
+		 ORDER BY l_returnflag, l_linestatus`,
+		// q2: 5-way join plus a 4-table scalar subquery (minimum cost supplier).
+		`SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr
+		 FROM part, supplier, partsupp, nation, region
+		 WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15
+		 AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+		 AND ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, supplier, nation, region
+		   WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+		   AND n_regionkey = r_regionkey AND r_name = 'EUROPE')
+		 ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100`,
+		// q3: shipping priority, 3-way join.
+		`SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)), o_orderdate, o_shippriority
+		 FROM customer, orders, lineitem
+		 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		 AND o_orderdate < '1995-03-15' AND l_shipdate > '1995-03-15'
+		 GROUP BY l_orderkey, o_orderdate, o_shippriority
+		 ORDER BY o_orderdate LIMIT 10`,
+		// q4: order priority with correlated EXISTS.
+		`SELECT o_orderpriority, COUNT(*) FROM orders
+		 WHERE o_orderdate >= '1993-07-01' AND o_orderdate < '1993-10-01'
+		 AND EXISTS (SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+		 GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+		// q5: local supplier volume, 6-way join.
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount))
+		 FROM customer, orders, lineitem, supplier, nation, region
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+		 AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey
+		 AND n_regionkey = r_regionkey AND r_name = 'ASIA'
+		 AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01'
+		 GROUP BY n_name ORDER BY SUM(l_extendedprice * (1 - l_discount)) DESC`,
+		// q6: forecasting revenue change, single table.
+		`SELECT SUM(l_extendedprice * l_discount) FROM lineitem
+		 WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+		 AND l_discount BETWEEN 0.01 AND 0.07 AND l_quantity < 24`,
+		// q7: volume shipping; nation aliased twice.
+		`SELECT n1.n_name, n2.n_name, SUM(l_extendedprice * (1 - l_discount))
+		 FROM supplier, lineitem, orders, customer, nation n1, nation n2
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey
+		 AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+		 AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+		 GROUP BY n1.n_name, n2.n_name ORDER BY n1.n_name, n2.n_name`,
+		// q8: national market share, 8-way join with CASE.
+		`SELECT o_orderdate, SUM(CASE WHEN n2.n_name = 'NATION07' THEN l_extendedprice * (1 - l_discount) ELSE 0 END),
+		 SUM(l_extendedprice * (1 - l_discount))
+		 FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+		 WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey
+		 AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey
+		 AND n1.n_regionkey = r_regionkey AND r_name = 'AMERICA'
+		 AND s_nationkey = n2.n_nationkey AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+		 GROUP BY o_orderdate ORDER BY o_orderdate`,
+		// q9: product type profit, 6-way join.
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+		 FROM part, supplier, lineitem, partsupp, orders, nation
+		 WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+		 AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+		 AND p_name LIKE '%green%'
+		 GROUP BY n_name ORDER BY n_name`,
+		// q10: returned item reporting.
+		`SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)), c_acctbal, n_name
+		 FROM customer, orders, lineitem, nation
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		 AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01'
+		 AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+		 GROUP BY c_custkey, c_name, c_acctbal, n_name
+		 ORDER BY SUM(l_extendedprice * (1 - l_discount)) DESC LIMIT 20`,
+		// q11: important stock identification — the paper's Listing 4 query:
+		// three tables referenced twice (FROM and HAVING subquery).
+		`SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) FROM partsupp, supplier, nation
+		 WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'NATION07'
+		 GROUP BY ps_partkey
+		 HAVING SUM(ps_supplycost * ps_availqty) > (
+		   SELECT SUM(ps_supplycost * ps_availqty) * 0.0001 FROM partsupp, supplier, nation
+		   WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'NATION07')
+		 ORDER BY SUM(ps_supplycost * ps_availqty) DESC`,
+		// q12: shipping modes and order priority with CASE sums.
+		`SELECT l_shipmode,
+		 SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END),
+		 SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END)
+		 FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+		 AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+		 AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01'
+		 GROUP BY l_shipmode ORDER BY l_shipmode`,
+		// q13: customer distribution via LEFT JOIN.
+		`SELECT c_custkey, COUNT(o_orderkey) FROM customer
+		 LEFT JOIN orders ON c_custkey = o_custkey
+		 GROUP BY c_custkey ORDER BY COUNT(o_orderkey) DESC, c_custkey LIMIT 50`,
+		// q14: promotion effect with CASE ratio.
+		`SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+		 / SUM(l_extendedprice * (1 - l_discount))
+		 FROM lineitem, part
+		 WHERE l_partkey = p_partkey AND l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'`,
+		// q15: top supplier over a derived revenue table.
+		`SELECT s_suppkey, s_name, rev.total FROM supplier
+		 INNER JOIN (SELECT l_suppkey AS sk, SUM(l_extendedprice * (1 - l_discount)) AS total
+		   FROM lineitem WHERE l_shipdate >= '1996-01-01' AND l_shipdate < '1996-04-01'
+		   GROUP BY l_suppkey) AS rev ON s_suppkey = rev.sk
+		 ORDER BY rev.total DESC LIMIT 5`,
+		// q16: parts/supplier relationship with NOT IN subquery.
+		`SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey)
+		 FROM partsupp, part
+		 WHERE p_partkey = ps_partkey AND p_brand <> 'Brand45' AND p_size IN (1, 4, 7, 15, 23)
+		 AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%Customer%Complaints%')
+		 GROUP BY p_brand, p_type, p_size
+		 ORDER BY COUNT(DISTINCT ps_suppkey) DESC, p_brand, p_type, p_size`,
+		// q17: small-quantity-order revenue with correlated scalar subquery.
+		`SELECT SUM(l_extendedprice) / 7.0 FROM lineitem, part
+		 WHERE p_partkey = l_partkey AND p_brand = 'Brand23' AND p_container = 'MED BAG'
+		 AND l_quantity < (SELECT 0.2 * AVG(l_quantity) FROM lineitem l2 WHERE l2.l_partkey = p_partkey)`,
+		// q18: large volume customer with IN + grouped HAVING subquery.
+		`SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity)
+		 FROM customer, orders, lineitem
+		 WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING SUM(l_quantity) > 100)
+		 AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+		 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+		 ORDER BY o_totalprice DESC, o_orderdate LIMIT 100`,
+		// q19: discounted revenue with OR-of-AND predicate groups.
+		`SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem, part
+		 WHERE p_partkey = l_partkey AND (
+		 (p_brand = 'Brand12' AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+		 OR (p_brand = 'Brand23' AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+		 OR (p_brand = 'Brand34' AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))`,
+		// q20: potential part promotion with nested IN subqueries.
+		`SELECT s_name FROM supplier, nation
+		 WHERE s_suppkey IN (SELECT ps_suppkey FROM partsupp
+		   WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE 'part green%')
+		   AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) FROM lineitem WHERE l_shipdate >= '1994-01-01'))
+		 AND s_nationkey = n_nationkey AND n_name = 'NATION03'
+		 ORDER BY s_name`,
+		// q21: suppliers who kept orders waiting; correlated EXISTS pair.
+		`SELECT s_name, COUNT(*) FROM supplier, lineitem, orders, nation
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND o_orderstatus = 'F'
+		 AND l_receiptdate > l_commitdate
+		 AND EXISTS (SELECT 1 FROM lineitem l2 WHERE l2.l_orderkey = l_orderkey AND l2.l_suppkey <> l_suppkey)
+		 AND s_nationkey = n_nationkey AND n_name = 'NATION01'
+		 GROUP BY s_name ORDER BY COUNT(*) DESC, s_name LIMIT 100`,
+		// q22: global sales opportunity; NOT EXISTS plus scalar average.
+		`SELECT SUBSTR(c_phone, 1, 2), COUNT(*), SUM(c_acctbal) FROM customer
+		 WHERE SUBSTR(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+		 AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer c2 WHERE c2.c_acctbal > 0.00)
+		 AND NOT EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)
+		 GROUP BY SUBSTR(c_phone, 1, 2) ORDER BY SUBSTR(c_phone, 1, 2)`,
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uplan/internal/dbms"
+)
+
+// YCSB-style workload (paper Table VII, MongoDB row): point reads,
+// updates, inserts, and short scans over a single usertable — the NoSQL
+// serving workload shape.
+
+// YCSBSchema is the usertable DDL.
+var YCSBSchema = []string{
+	`CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 TEXT, field1 TEXT,
+	 field2 TEXT, field3 TEXT, field4 TEXT)`,
+}
+
+// LoadYCSB creates and populates the usertable.
+func LoadYCSB(e *dbms.Engine, seed int64, records int) error {
+	for _, s := range YCSBSchema {
+		if _, err := e.Execute(s); err != nil {
+			return err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < records; i++ {
+		stmt := fmt.Sprintf(
+			"INSERT INTO usertable VALUES (%d, 'v%d', 'v%d', 'v%d', 'v%d', 'v%d')",
+			i, r.Intn(100), r.Intn(100), r.Intn(100), r.Intn(100), r.Intn(100))
+		if _, err := e.Execute(stmt); err != nil {
+			return err
+		}
+	}
+	return e.Analyze()
+}
+
+// YCSBQueries generates the read-side operations of YCSB core workloads
+// (the statements whose plans Table VII measures): point reads (workloads
+// B/C), and short ordered scans (workload E). Reads dominate per the
+// standard mixes.
+func YCSBQueries(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	var out []string
+	for i := 0; i < n; i++ {
+		key := r.Intn(100)
+		switch r.Intn(10) {
+		case 0, 1:
+			out = append(out, fmt.Sprintf(
+				"SELECT * FROM usertable WHERE ycsb_key >= %d ORDER BY ycsb_key LIMIT %d",
+				key, 5+r.Intn(20)))
+		default:
+			out = append(out, fmt.Sprintf(
+				"SELECT * FROM usertable WHERE ycsb_key = %d", key))
+		}
+	}
+	return out
+}
+
+// WDBench-style workload (paper Table VII, Neo4j row): basic graph
+// patterns over a Wikidata-like edge set, encoded relationally (nodes and
+// edges tables) per the paper's mapping of the graph model.
+
+// WDBenchSchema models nodes and typed edges.
+var WDBenchSchema = []string{
+	`CREATE TABLE nodes (id INT PRIMARY KEY, label TEXT)`,
+	`CREATE TABLE edges (src INT, dst INT, etype TEXT)`,
+}
+
+// LoadWDBench populates a random graph.
+func LoadWDBench(e *dbms.Engine, seed int64, nodes, edges int) error {
+	for _, s := range WDBenchSchema {
+		if _, err := e.Execute(s); err != nil {
+			return err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"human", "city", "film", "gene", "taxon"}
+	for i := 0; i < nodes; i++ {
+		stmt := fmt.Sprintf("INSERT INTO nodes VALUES (%d, '%s')",
+			i, labels[r.Intn(len(labels))])
+		if _, err := e.Execute(stmt); err != nil {
+			return err
+		}
+	}
+	etypes := []string{"instanceOf", "locatedIn", "castMember", "partOf"}
+	for i := 0; i < edges; i++ {
+		stmt := fmt.Sprintf("INSERT INTO edges VALUES (%d, %d, '%s')",
+			r.Intn(nodes), r.Intn(nodes), etypes[r.Intn(len(etypes))])
+		if _, err := e.Execute(stmt); err != nil {
+			return err
+		}
+	}
+	return e.Analyze()
+}
+
+// WDBenchQueries generates basic graph patterns: single edge lookups,
+// one-hop expansions, and two-hop paths (the BGP shapes dominating
+// WDBench). Expressed over the relational encoding, they plan as the
+// relationship traversals Table VII counts.
+func WDBenchQueries(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	etypes := []string{"instanceOf", "locatedIn", "castMember", "partOf"}
+	var out []string
+	for i := 0; i < n; i++ {
+		et := etypes[r.Intn(len(etypes))]
+		switch r.Intn(4) {
+		case 0:
+			// Single edge pattern: (?s) --type--> (?o)
+			out = append(out, fmt.Sprintf(
+				"SELECT src, dst FROM edges WHERE etype = '%s'", et))
+		case 1:
+			// Node by id expansion: (v) --> (?o)
+			out = append(out, fmt.Sprintf(
+				"SELECT e.dst FROM edges e INNER JOIN nodes n ON e.src = n.id WHERE n.id = %d",
+				r.Intn(50)))
+		case 2:
+			// Two-hop path: (?a) --> (?b) --> (?c)
+			out = append(out, fmt.Sprintf(
+				"SELECT e1.src, e2.dst FROM edges e1 INNER JOIN edges e2 ON e1.dst = e2.src WHERE e1.etype = '%s'",
+				et))
+		default:
+			// Labelled endpoint pattern.
+			out = append(out, fmt.Sprintf(
+				"SELECT n.id FROM nodes n INNER JOIN edges e ON n.id = e.src WHERE n.label = '%s' AND e.etype = '%s'",
+				[]string{"human", "city", "film"}[r.Intn(3)], et))
+		}
+	}
+	return out
+}
+
+// RunTableVII collects Table VII: YCSB plans on MongoDB and WDBench plans
+// on Neo4j.
+func RunTableVII(seed int64) ([]*EngineReport, error) {
+	mongo, err := dbms.New("mongodb")
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadYCSB(mongo, seed, 100); err != nil {
+		return nil, err
+	}
+	mrep, err := CollectPlans(mongo, YCSBQueries(seed, 40))
+	if err != nil {
+		return nil, err
+	}
+
+	neo, err := dbms.New("neo4j")
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadWDBench(neo, seed, 120, 300); err != nil {
+		return nil, err
+	}
+	nrep, err := CollectPlans(neo, WDBenchQueries(seed, 40))
+	if err != nil {
+		return nil, err
+	}
+	return []*EngineReport{mrep, nrep}, nil
+}

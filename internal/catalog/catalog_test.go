@@ -1,0 +1,133 @@
+package catalog
+
+import (
+	"testing"
+
+	"uplan/internal/datum"
+)
+
+func TestParseColType(t *testing.T) {
+	cases := map[string]ColType{
+		"INT": TInt, "integer": TInt, "FLOAT": TFloat, "real": TFloat,
+		"TEXT": TText, "VARCHAR": TText, "BOOL": TBool, "DECIMAL": TFloat,
+	}
+	for in, want := range cases {
+		got, err := ParseColType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseColType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseColType("BLOB"); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if TInt.String() != "INT" || TText.String() != "TEXT" {
+		t.Error("String() broken")
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	tbl := &Table{Name: "t", Columns: []Column{
+		{Name: "C0", Type: TInt}, {Name: "c1", Type: TText},
+	}}
+	if tbl.ColumnIndex("c0") != 0 || tbl.ColumnIndex("C1") != 1 {
+		t.Error("case-insensitive column lookup broken")
+	}
+	if tbl.ColumnIndex("missing") != -1 || tbl.Column("missing") != nil {
+		t.Error("missing column handling broken")
+	}
+	tbl.Indexes = append(tbl.Indexes, &Index{Name: "i", Columns: []string{"c1"}})
+	if tbl.IndexOn("C1") == nil || tbl.IndexOn("c0") != nil {
+		t.Error("IndexOn broken")
+	}
+}
+
+func TestSchemaLifecycle(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddTable(&Table{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(&Table{Name: "A"}); err == nil {
+		t.Error("duplicate table (case-insensitive) must fail")
+	}
+	if err := s.AddTable(&Table{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Tables()); got != 2 {
+		t.Fatalf("Tables() = %d", got)
+	}
+	if s.Table("A") == nil {
+		t.Error("case-insensitive lookup broken")
+	}
+	s.DropTable("a")
+	if s.Table("a") != nil || len(s.Tables()) != 1 {
+		t.Error("DropTable broken")
+	}
+}
+
+func TestStatsDefaults(t *testing.T) {
+	s := NewSchema()
+	_ = s.AddTable(&Table{Name: "t"})
+	st := s.Stats("t")
+	if st.RowCount != 1000 {
+		t.Errorf("default row estimate = %d", st.RowCount)
+	}
+	if s.HasStats("t") {
+		t.Error("no stats were installed")
+	}
+	s.SetStats("t", &TableStats{RowCount: 5})
+	if !s.HasStats("t") || s.Stats("t").RowCount != 5 {
+		t.Error("SetStats broken")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var vals []datum.D
+	for i := 1; i <= 100; i++ {
+		vals = append(vals, datum.Int(int64(i)))
+	}
+	h := BuildHistogram(vals, 10)
+	if len(h.Bounds) != 10 || h.Total != 100 {
+		t.Fatalf("histogram shape: %d bounds, total %d", len(h.Bounds), h.Total)
+	}
+	// P(v < 51) should be ≈ 0.5.
+	sel := h.SelectivityLT(datum.Int(51))
+	if sel < 0.4 || sel > 0.6 {
+		t.Errorf("SelectivityLT(51) = %v", sel)
+	}
+	if got := h.SelectivityLT(datum.Int(1000)); got != 1 {
+		t.Errorf("beyond max selectivity = %v", got)
+	}
+	if got := h.SelectivityLT(datum.Int(-5)); got != 0 {
+		t.Errorf("below min selectivity = %v", got)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := BuildHistogram(nil, 10)
+	if got := h.SelectivityLT(datum.Int(1)); got != DefaultIneqSelectivity() {
+		t.Errorf("empty histogram should fall back: %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.SelectivityLT(datum.Int(1)); got != DefaultIneqSelectivity() {
+		t.Errorf("nil histogram should fall back: %v", got)
+	}
+	one := BuildHistogram([]datum.D{datum.Int(7)}, 10)
+	if len(one.Bounds) != 1 {
+		t.Errorf("single-value histogram: %+v", one)
+	}
+}
+
+func TestColumnStatsSelectivity(t *testing.T) {
+	cs := &ColumnStats{Distinct: 50}
+	if got := cs.SelectivityEQ(); got != 0.02 {
+		t.Errorf("SelectivityEQ = %v", got)
+	}
+	var nilCS *ColumnStats
+	if got := nilCS.SelectivityEQ(); got != DefaultEqSelectivity() {
+		t.Errorf("nil stats fallback = %v", got)
+	}
+	var ts *TableStats
+	if ts.Column("x") != nil {
+		t.Error("nil TableStats.Column should be nil")
+	}
+}

@@ -1,0 +1,112 @@
+// Package cert implements Cardinality Estimation Restriction Testing (Ba &
+// Rigger, ICSE 2024) in a DBMS-agnostic way over the unified query plan
+// representation — the second half of the paper's application A.1. CERT's
+// oracle: a query that is strictly more restrictive than another must not
+// have a larger estimated cardinality. The estimate is read from the
+// unified plan (Cardinality category), so one implementation serves every
+// engine with a converter.
+package cert
+
+import (
+	"fmt"
+
+	"uplan/internal/convert"
+	"uplan/internal/dbms"
+	"uplan/internal/sqlancer"
+)
+
+// Violation is one CERT finding: the restricted query got a larger
+// estimate than its base query.
+type Violation struct {
+	Engine        string
+	Base          string
+	Restricted    string
+	BaseEst       float64
+	RestrictedEst float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] est(%q)=%.1f < est(%q)=%.1f — restriction increased the estimate",
+		v.Engine, v.Base, v.BaseEst, v.Restricted, v.RestrictedEst)
+}
+
+// Tolerance is the relative slack CERT allows before flagging (estimates
+// are noisy; the paper filters by expert triage).
+const Tolerance = 1.01
+
+// Checker runs CERT against one engine.
+type Checker struct {
+	Engine    *dbms.Engine
+	converter convert.Converter
+	// Checked counts performed estimate comparisons.
+	Checked int
+}
+
+// New creates a CERT checker for the engine.
+func New(e *dbms.Engine) (*Checker, error) {
+	conv, err := convert.For(e.Info.Name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{Engine: e, converter: conv}, nil
+}
+
+// Estimate returns the optimizer's root cardinality estimate for the
+// query, read from the unified plan.
+func (c *Checker) Estimate(query string) (float64, error) {
+	serialized, err := c.Engine.Explain(query, c.Engine.DefaultFormat())
+	if err != nil {
+		return 0, err
+	}
+	plan, err := c.converter.Convert(serialized)
+	if err != nil {
+		return 0, err
+	}
+	est, ok := plan.RootCardinality()
+	if !ok {
+		return 0, fmt.Errorf("cert: no cardinality estimate in %s plan", c.Engine.Info.Name)
+	}
+	return est, nil
+}
+
+// CheckPair compares the estimates of a base query and a more restrictive
+// variant. It returns a Violation when monotonicity is broken.
+func (c *Checker) CheckPair(base, restricted string) (*Violation, error) {
+	baseEst, err := c.Estimate(base)
+	if err != nil {
+		return nil, err
+	}
+	restEst, err := c.Estimate(restricted)
+	if err != nil {
+		return nil, err
+	}
+	c.Checked++
+	if restEst > baseEst*Tolerance {
+		return &Violation{
+			Engine:        c.Engine.Info.Name,
+			Base:          base,
+			Restricted:    restricted,
+			BaseEst:       baseEst,
+			RestrictedEst: restEst,
+		}, nil
+	}
+	return nil, nil
+}
+
+// Run generates n random base/restricted pairs and returns all violations.
+func (c *Checker) Run(gen *sqlancer.Generator, n int) ([]Violation, error) {
+	var out []Violation
+	for i := 0; i < n; i++ {
+		base, restricted := gen.RestrictableQuery()
+		v, err := c.CheckPair(base, restricted)
+		if err != nil {
+			// Skip pairs the engine cannot plan; CERT only reasons about
+			// successfully planned queries.
+			continue
+		}
+		if v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out, nil
+}

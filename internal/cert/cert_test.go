@@ -1,0 +1,94 @@
+package cert
+
+import (
+	"testing"
+
+	"uplan/internal/dbms"
+	"uplan/internal/sqlancer"
+)
+
+func seeded(t *testing.T, name string) *dbms.Engine {
+	t.Helper()
+	e := dbms.MustNew(name)
+	for _, s := range []string{
+		"CREATE TABLE t0 (c0 INT PRIMARY KEY, c1 INT, c2 TEXT)",
+		"INSERT INTO t0 VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'c'), (4, 40, 'd')",
+	} {
+		if _, err := e.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEstimateReadsUnifiedPlan(t *testing.T) {
+	for _, name := range []string{"postgresql", "mysql", "tidb"} {
+		c, err := New(seeded(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := c.Estimate("SELECT * FROM t0")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if est < 3 || est > 5 {
+			t.Errorf("%s: base estimate = %v, want ≈4", name, est)
+		}
+	}
+}
+
+func TestMonotonicityHoldsOnCorrectEngine(t *testing.T) {
+	c, err := New(seeded(t, "postgresql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.CheckPair(
+		"SELECT * FROM t0 WHERE c1 > 15",
+		"SELECT * FROM t0 WHERE c1 > 15 AND c2 = 'b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("correct engine flagged: %v", v)
+	}
+}
+
+func TestViolationDetected(t *testing.T) {
+	e := seeded(t, "tidb")
+	e.Opts.Quirks.PredicateInflatesEstimate = 1000
+	c, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.CheckPair(
+		"SELECT * FROM t0 WHERE c1 > 15",
+		"SELECT * FROM t0 WHERE c1 > 15 AND c0 = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("inflated estimate not flagged")
+	}
+	if v.RestrictedEst <= v.BaseEst {
+		t.Errorf("violation fields: %+v", v)
+	}
+	if v.String() == "" {
+		t.Error("violation must render")
+	}
+}
+
+func TestRunSkipsUnplannable(t *testing.T) {
+	e := seeded(t, "postgresql")
+	c, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sqlancer.New(3)
+	gen.SchemaSQL(1, 0) // generator schema ≠ engine schema: pairs skipped
+	if _, err := c.Run(gen, 10); err != nil {
+		t.Fatalf("Run must tolerate unplannable pairs: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package convert implements UPlan's converters: parsers that turn a
+// DBMS-native *serialized* query plan (the text/table/JSON/XML strings a
+// real system prints for EXPLAIN) into the unified query plan
+// representation of internal/core. One converter exists per studied DBMS,
+// mirroring the paper's five ~200-line converters and extending them to
+// all nine systems.
+package convert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uplan/internal/core"
+)
+
+// Converter parses serialized plans of one dialect.
+type Converter interface {
+	// Dialect returns the engine key ("postgresql", …).
+	Dialect() string
+	// Convert parses a serialized plan. The format hint may be empty, in
+	// which case the converter auto-detects among its supported formats.
+	Convert(serialized string) (*core.Plan, error)
+}
+
+// registry of converters, keyed by dialect.
+var converters = map[string]func(reg *core.Registry) Converter{
+	"postgresql": func(r *core.Registry) Converter { return &postgresConverter{reg: r} },
+	"mysql":      func(r *core.Registry) Converter { return &mysqlConverter{reg: r} },
+	"tidb":       func(r *core.Registry) Converter { return &tidbConverter{reg: r} },
+	"sqlite":     func(r *core.Registry) Converter { return &sqliteConverter{reg: r} },
+	"mongodb":    func(r *core.Registry) Converter { return &mongoConverter{reg: r} },
+	"neo4j":      func(r *core.Registry) Converter { return &neo4jConverter{reg: r} },
+	"sparksql":   func(r *core.Registry) Converter { return &sparkConverter{reg: r} },
+	"sqlserver":  func(r *core.Registry) Converter { return &sqlserverConverter{reg: r} },
+	"influxdb":   func(r *core.Registry) Converter { return &influxConverter{reg: r} },
+}
+
+// For returns the converter for a dialect, backed by the given registry
+// (nil uses the default registry).
+func For(dialect string, reg *core.Registry) (Converter, error) {
+	if reg == nil {
+		reg = core.DefaultRegistry()
+	}
+	mk, ok := converters[strings.ToLower(dialect)]
+	if !ok {
+		return nil, fmt.Errorf("convert: no converter for dialect %q", dialect)
+	}
+	return mk(reg), nil
+}
+
+// Dialects lists the supported dialect keys.
+func Dialects() []string {
+	out := make([]string, 0, len(converters))
+	for k := range converters {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Convert is a convenience wrapper: one-shot conversion with the default
+// registry.
+func Convert(dialect, serialized string) (*core.Plan, error) {
+	c, err := For(dialect, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Convert(serialized)
+}
+
+// ------------------------------------------------------------ shared bits
+
+// parseScalar converts a property value string to a core.Value, detecting
+// numbers and booleans.
+func parseScalar(s string) core.Value {
+	t := strings.TrimSpace(s)
+	switch t {
+	case "":
+		return core.Null()
+	case "true", "TRUE", "True":
+		return core.BoolVal(true)
+	case "false", "FALSE", "False":
+		return core.BoolVal(false)
+	case "null", "NULL":
+		return core.Null()
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return core.Num(f)
+	}
+	return core.Str(t)
+}
+
+// addProp resolves a native property name through the registry and appends
+// it to the node.
+func addProp(reg *core.Registry, dialect string, n *core.Node, nativeKey, rawVal string) {
+	name, cat := reg.ResolveProperty(dialect, nativeKey)
+	n.Properties = append(n.Properties, core.Property{
+		Category: cat, Name: name, Value: parseScalar(rawVal),
+	})
+}
+
+// addTypedProp appends a property with an explicit category override.
+func addTypedProp(n *core.Node, cat core.PropertyCategory, name string, v core.Value) {
+	n.Properties = append(n.Properties, core.Property{Category: cat, Name: name, Value: v})
+}
+
+// addPlanProp resolves and appends a plan-level property.
+func addPlanProp(reg *core.Registry, dialect string, p *core.Plan, nativeKey, rawVal string) {
+	name, cat := reg.ResolveProperty(dialect, nativeKey)
+	p.Properties = append(p.Properties, core.Property{
+		Category: cat, Name: name, Value: parseScalar(rawVal),
+	})
+}
+
+// indentDepth counts leading spaces.
+func indentDepth(s string) int {
+	n := 0
+	for n < len(s) && s[n] == ' ' {
+		n++
+	}
+	return n
+}
+
+// stripOperatorSuffix removes TiDB-style unstable "_NN" suffixes and
+// returns the base name plus the suffix (empty when none).
+func stripOperatorSuffix(id string) (string, string) {
+	i := strings.LastIndexByte(id, '_')
+	if i < 0 {
+		return id, ""
+	}
+	suffix := id[i+1:]
+	if suffix == "" {
+		return id, ""
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return id, ""
+		}
+	}
+	return id[:i], suffix
+}

@@ -1,0 +1,760 @@
+package convert
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"uplan/internal/core"
+)
+
+// Structured-format parsers: PostgreSQL JSON, MySQL JSON, TiDB JSON,
+// MongoDB explain JSON, Neo4j JSON, and SQL Server showplan XML.
+
+func decodeJSON(s string, into any) error {
+	dec := json.NewDecoder(bytes.NewReader([]byte(s)))
+	dec.UseNumber()
+	return dec.Decode(into)
+}
+
+func scalarFromJSON(v any) core.Value {
+	switch t := v.(type) {
+	case nil:
+		return core.Null()
+	case string:
+		return parseScalar(t)
+	case bool:
+		return core.BoolVal(t)
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return core.Str(t.String())
+		}
+		return core.Num(f)
+	default:
+		raw, _ := json.Marshal(v)
+		return core.Str(string(raw))
+	}
+}
+
+// ------------------------------------------------------- PostgreSQL (JSON)
+
+func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
+	var doc any
+	if err := decodeJSON(s, &doc); err != nil {
+		return nil, fmt.Errorf("convert: postgres json: %w", err)
+	}
+	// Accept both the canonical one-element array and a bare object.
+	obj, ok := doc.(map[string]any)
+	if !ok {
+		arr, isArr := doc.([]any)
+		if !isArr || len(arr) == 0 {
+			return nil, fmt.Errorf("convert: postgres json: unexpected top-level shape")
+		}
+		obj, ok = arr[0].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("convert: postgres json: unexpected array element")
+		}
+	}
+	plan := &core.Plan{Source: "postgresql"}
+	for k, v := range obj {
+		if k == "Plan" {
+			continue
+		}
+		name, cat := c.reg.ResolveProperty("postgresql", k)
+		plan.Properties = append(plan.Properties, core.Property{
+			Category: cat, Name: name, Value: scalarFromJSON(v),
+		})
+	}
+	if rawPlan, ok := obj["Plan"].(map[string]any); ok {
+		plan.Root = c.jsonNode(rawPlan)
+	}
+	return plan, nil
+}
+
+func (c *postgresConverter) jsonNode(m map[string]any) *core.Node {
+	name, _ := m["Node Type"].(string)
+	node := &core.Node{Op: c.reg.ResolveOperation("postgresql", name)}
+	for k, v := range m {
+		switch k {
+		case "Node Type", "Plans", "Parent Relationship":
+			if k == "Parent Relationship" {
+				addTypedProp(node, core.Configuration, "parent relationship", scalarFromJSON(v))
+			}
+			continue
+		case "Startup Cost":
+			addTypedProp(node, core.Cost, "startup cost", scalarFromJSON(v))
+		case "Total Cost":
+			addTypedProp(node, core.Cost, "total cost", scalarFromJSON(v))
+		case "Plan Rows":
+			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+		case "Plan Width":
+			addTypedProp(node, core.Cardinality, "estimated width", scalarFromJSON(v))
+		case "Actual Rows":
+			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+		case "Actual Total Time":
+			addTypedProp(node, core.Status, "actual time", scalarFromJSON(v))
+		case "Relation Name":
+			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
+		default:
+			pname, cat := c.reg.ResolveProperty("postgresql", k)
+			addTypedProp(node, cat, pname, scalarFromJSON(v))
+		}
+	}
+	if kids, ok := m["Plans"].([]any); ok {
+		for _, kid := range kids {
+			if km, ok := kid.(map[string]any); ok {
+				node.Children = append(node.Children, c.jsonNode(km))
+			}
+		}
+	}
+	return node
+}
+
+// -------------------------------------------------------- PostgreSQL (XML)
+
+// convertXML parses the PostgreSQL XML explain format: nested <Plan>
+// elements with dash-separated tag names.
+func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
+	type xmlPlan struct {
+		XMLName  xml.Name
+		Children []xmlPlan `xml:",any"`
+		Text     string    `xml:",chardata"`
+	}
+	var doc xmlPlan
+	if err := xml.Unmarshal([]byte(s), &doc); err != nil {
+		return nil, fmt.Errorf("convert: postgres xml: %w", err)
+	}
+	plan := &core.Plan{Source: "postgresql"}
+	var buildNode func(el xmlPlan) *core.Node
+	buildNode = func(el xmlPlan) *core.Node {
+		node := &core.Node{}
+		for _, ch := range el.Children {
+			tag := strings.ReplaceAll(ch.XMLName.Local, "-", " ")
+			val := strings.TrimSpace(ch.Text)
+			switch ch.XMLName.Local {
+			case "Node-Type":
+				node.Op = c.reg.ResolveOperation("postgresql", val)
+			case "Plans":
+				for _, sub := range ch.Children {
+					if sub.XMLName.Local == "Plan" {
+						node.Children = append(node.Children, buildNode(sub))
+					}
+				}
+			case "Startup-Cost":
+				addTypedProp(node, core.Cost, "startup cost", parseScalar(val))
+			case "Total-Cost":
+				addTypedProp(node, core.Cost, "total cost", parseScalar(val))
+			case "Rows":
+				addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(val))
+			case "Width":
+				addTypedProp(node, core.Cardinality, "estimated width", parseScalar(val))
+			case "Relation-Name":
+				addTypedProp(node, core.Configuration, "name object", parseScalar(val))
+			default:
+				name, cat := c.reg.ResolveProperty("postgresql", tag)
+				addTypedProp(node, cat, name, parseScalar(val))
+			}
+		}
+		return node
+	}
+	var findQuery func(el xmlPlan)
+	findQuery = func(el xmlPlan) {
+		for _, ch := range el.Children {
+			switch ch.XMLName.Local {
+			case "Plan":
+				plan.Root = buildNode(ch)
+			case "Query":
+				findQuery(ch)
+			default:
+				val := strings.TrimSpace(ch.Text)
+				if val != "" && len(ch.Children) == 0 {
+					tag := strings.ReplaceAll(ch.XMLName.Local, "-", " ")
+					name, cat := c.reg.ResolveProperty("postgresql", tag)
+					addPlanPropTyped(plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
+				}
+			}
+		}
+	}
+	findQuery(doc)
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: postgres xml: no Plan element")
+	}
+	return plan, nil
+}
+
+// ------------------------------------------------------- PostgreSQL (YAML)
+
+// convertYAML parses the PostgreSQL YAML explain format (the subset the
+// serializer emits: two-space indentation, "Plans:" lists with "- "
+// items).
+func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
+	plan := &core.Plan{Source: "postgresql"}
+	type frame struct {
+		node   *core.Node
+		indent int
+	}
+	var stack []frame
+	for _, raw := range strings.Split(s, "\n") {
+		if strings.TrimSpace(raw) == "" || strings.TrimSpace(raw) == "- Plan:" {
+			continue
+		}
+		indent := indentDepth(raw)
+		line := strings.TrimSpace(raw)
+		newNode := false
+		if strings.HasPrefix(line, "- ") {
+			line = strings.TrimPrefix(line, "- ")
+			newNode = true
+			indent += 2 // the dash occupies the key's indentation
+		}
+		key, val, ok := splitKV(line)
+		if !ok {
+			continue
+		}
+		val = strings.Trim(val, `"`)
+		if key == "Plans" {
+			continue
+		}
+		if key == "Node Type" {
+			node := &core.Node{Op: c.reg.ResolveOperation("postgresql", val)}
+			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				if plan.Root == nil {
+					plan.Root = node
+				}
+			} else {
+				p := stack[len(stack)-1].node
+				p.Children = append(p.Children, node)
+			}
+			stack = append(stack, frame{node, indent})
+			continue
+		}
+		_ = newNode
+		if len(stack) == 0 {
+			name, cat := c.reg.ResolveProperty("postgresql", key)
+			addPlanPropTyped(plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
+			continue
+		}
+		node := stack[len(stack)-1].node
+		switch key {
+		case "Startup Cost":
+			addTypedProp(node, core.Cost, "startup cost", parseScalar(val))
+		case "Total Cost":
+			addTypedProp(node, core.Cost, "total cost", parseScalar(val))
+		case "Rows":
+			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(val))
+		case "Width":
+			addTypedProp(node, core.Cardinality, "estimated width", parseScalar(val))
+		case "Relation Name":
+			addTypedProp(node, core.Configuration, "name object", parseScalar(val))
+		default:
+			addProp(c.reg, "postgresql", node, key, val)
+		}
+	}
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: postgres yaml: no plan found")
+	}
+	return plan, nil
+}
+
+// ------------------------------------------------------------ MySQL (JSON)
+
+func (c *mysqlConverter) convertJSON(s string) (*core.Plan, error) {
+	var doc map[string]any
+	if err := decodeJSON(s, &doc); err != nil {
+		return nil, fmt.Errorf("convert: mysql json: %w", err)
+	}
+	qb, ok := doc["query_block"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("convert: mysql json: missing query_block")
+	}
+	plan := &core.Plan{Source: "mysql"}
+	if ci, ok := qb["cost_info"].(map[string]any); ok {
+		if qc, ok := ci["query_cost"]; ok {
+			addPlanPropTyped(plan, core.Cost, "total cost", scalarFromJSON(qc))
+		}
+	}
+	if p, ok := qb["plan"].(map[string]any); ok {
+		plan.Root = c.jsonNode(p)
+	}
+	if plan.Root == nil && len(plan.Properties) == 0 {
+		return nil, fmt.Errorf("convert: mysql json: empty plan")
+	}
+	return plan, nil
+}
+
+func addPlanPropTyped(p *core.Plan, cat core.PropertyCategory, name string, v core.Value) {
+	p.Properties = append(p.Properties, core.Property{Category: cat, Name: name, Value: v})
+}
+
+func (c *mysqlConverter) jsonNode(m map[string]any) *core.Node {
+	opText, _ := m["operation"].(string)
+	node := c.parseTreeLine(opText)
+	if ci, ok := m["cost_info"].(map[string]any); ok {
+		for k, v := range ci {
+			pname, cat := c.reg.ResolveProperty("mysql", k)
+			addTypedProp(node, cat, pname, scalarFromJSON(v))
+		}
+	}
+	for k, v := range m {
+		switch k {
+		case "operation", "inputs", "cost_info":
+			continue
+		case "rows_examined_per_scan":
+			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+		case "actual_rows":
+			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+		default:
+			pname, cat := c.reg.ResolveProperty("mysql", k)
+			addTypedProp(node, cat, pname, scalarFromJSON(v))
+		}
+	}
+	if kids, ok := m["inputs"].([]any); ok {
+		for _, kid := range kids {
+			if km, ok := kid.(map[string]any); ok {
+				node.Children = append(node.Children, c.jsonNode(km))
+			}
+		}
+	}
+	return node
+}
+
+// ------------------------------------------------------------- TiDB (JSON)
+
+type tidbJSONIn struct {
+	ID           string       `json:"id"`
+	EstRows      string       `json:"estRows"`
+	ActRows      string       `json:"actRows"`
+	TaskType     string       `json:"taskType"`
+	AccessObject string       `json:"accessObject"`
+	OperatorInfo string       `json:"operatorInfo"`
+	SubOperators []tidbJSONIn `json:"subOperators"`
+}
+
+func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
+	var arr []tidbJSONIn
+	if err := json.Unmarshal([]byte(s), &arr); err != nil {
+		// Maybe a single object.
+		var one tidbJSONIn
+		if err2 := json.Unmarshal([]byte(s), &one); err2 != nil {
+			return nil, fmt.Errorf("convert: tidb json: %w", err)
+		}
+		arr = []tidbJSONIn{one}
+	}
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("convert: tidb json: empty plan")
+	}
+	plan := &core.Plan{Source: "tidb"}
+	plan.Root = c.jsonNode(arr[0])
+	plan.Root = foldTiDBSelections(plan.Root)
+	return plan, nil
+}
+
+func (c *tidbConverter) jsonNode(in tidbJSONIn) *core.Node {
+	base, suffix := stripOperatorSuffix(in.ID)
+	node := &core.Node{Op: c.reg.ResolveOperation("tidb", base)}
+	if suffix != "" {
+		addTypedProp(node, core.Status, "operator id", core.Str(suffix))
+	}
+	if in.EstRows != "" {
+		addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(in.EstRows))
+	}
+	if in.ActRows != "" {
+		addTypedProp(node, core.Cardinality, "actual rows", parseScalar(in.ActRows))
+	}
+	if in.TaskType != "" {
+		name, cat := c.reg.ResolveProperty("tidb", "task")
+		addTypedProp(node, cat, name, core.Str(in.TaskType))
+	}
+	if in.AccessObject != "" {
+		addTypedProp(node, core.Configuration, "access object", core.Str(in.AccessObject))
+	}
+	if in.OperatorInfo != "" {
+		name, cat := c.reg.ResolveProperty("tidb", "operator info")
+		addTypedProp(node, cat, name, core.Str(in.OperatorInfo))
+	}
+	for _, sub := range in.SubOperators {
+		node.Children = append(node.Children, c.jsonNode(sub))
+	}
+	return node
+}
+
+// ---------------------------------------------------------- MongoDB (JSON)
+
+type mongoConverter struct{ reg *core.Registry }
+
+func (c *mongoConverter) Dialect() string { return "mongodb" }
+
+func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
+	var doc map[string]any
+	if err := decodeJSON(s, &doc); err != nil {
+		return nil, fmt.Errorf("convert: mongodb json: %w", err)
+	}
+	qp, ok := doc["queryPlanner"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("convert: mongodb json: missing queryPlanner")
+	}
+	plan := &core.Plan{Source: "mongodb"}
+	if ns, ok := qp["namespace"]; ok {
+		addPlanPropTyped(plan, core.Configuration, "name object", scalarFromJSON(ns))
+	}
+	if wp, ok := qp["winningPlan"].(map[string]any); ok {
+		plan.Root = c.stage(wp)
+	}
+	if es, ok := doc["executionStats"].(map[string]any); ok {
+		for k, v := range es {
+			name, cat := c.reg.ResolveProperty("mongodb", k)
+			addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
+		}
+	}
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: mongodb json: no winningPlan")
+	}
+	return plan, nil
+}
+
+func (c *mongoConverter) stage(m map[string]any) *core.Node {
+	name, _ := m["stage"].(string)
+	node := &core.Node{Op: c.reg.ResolveOperation("mongodb", name)}
+	for k, v := range m {
+		switch k {
+		case "stage", "inputStage", "inputStages":
+			continue
+		case "namespace":
+			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
+		default:
+			pname, cat := c.reg.ResolveProperty("mongodb", k)
+			addTypedProp(node, cat, pname, scalarFromJSON(v))
+		}
+	}
+	if in, ok := m["inputStage"].(map[string]any); ok {
+		node.Children = append(node.Children, c.stage(in))
+	}
+	if ins, ok := m["inputStages"].([]any); ok {
+		for _, kid := range ins {
+			if km, ok := kid.(map[string]any); ok {
+				node.Children = append(node.Children, c.stage(km))
+			}
+		}
+	}
+	return node
+}
+
+// ------------------------------------------------------------ Neo4j (JSON)
+
+func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
+	var doc map[string]any
+	if err := decodeJSON(s, &doc); err != nil {
+		return nil, fmt.Errorf("convert: neo4j json: %w", err)
+	}
+	plan := &core.Plan{Source: "neo4j"}
+	for k, v := range doc {
+		if k == "plan" {
+			continue
+		}
+		name, cat := c.reg.ResolveProperty("neo4j", k)
+		addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
+	}
+	if p, ok := doc["plan"].(map[string]any); ok {
+		plan.Root = c.jsonNode(p)
+	}
+	if plan.Root == nil && len(plan.Properties) == 0 {
+		return nil, fmt.Errorf("convert: neo4j json: empty document")
+	}
+	return plan, nil
+}
+
+func (c *neo4jConverter) jsonNode(m map[string]any) *core.Node {
+	name, _ := m["operatorType"].(string)
+	node := &core.Node{Op: c.reg.ResolveOperation("neo4j", name)}
+	if args, ok := m["arguments"].(map[string]any); ok {
+		for k, v := range args {
+			switch k {
+			case "EstimatedRows":
+				addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+			case "Rows":
+				addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+			default:
+				pname, cat := c.reg.ResolveProperty("neo4j", k)
+				addTypedProp(node, cat, pname, scalarFromJSON(v))
+			}
+		}
+	}
+	if kids, ok := m["children"].([]any); ok {
+		for _, kid := range kids {
+			if km, ok := kid.(map[string]any); ok {
+				node.Children = append(node.Children, c.jsonNode(km))
+			}
+		}
+	}
+	return node
+}
+
+// -------------------------------------------------------- SQL Server (XML)
+
+type sqlserverConverter struct{ reg *core.Registry }
+
+func (c *sqlserverConverter) Dialect() string { return "sqlserver" }
+
+type ssRelOp struct {
+	PhysicalOp    string    `xml:"PhysicalOp,attr"`
+	LogicalOp     string    `xml:"LogicalOp,attr"`
+	EstimateRows  string    `xml:"EstimateRows,attr"`
+	EstimatedCost string    `xml:"EstimatedTotalSubtreeCost,attr"`
+	Children      []ssRelOp `xml:"RelOp"`
+	Object        ssObject  `xml:"Object"`
+	InnerXML      []byte    `xml:",innerxml"`
+}
+
+type ssObject struct {
+	Table string `xml:"Table,attr"`
+}
+
+func (c *sqlserverConverter) Convert(s string) (*core.Plan, error) {
+	if !strings.Contains(s, "<ShowPlanXML") {
+		// SHOWPLAN_TEXT / STATISTICS PROFILE tabular fallbacks.
+		if strings.HasPrefix(strings.TrimSpace(s), "+") {
+			return c.convertProfileTable(s)
+		}
+		if strings.Contains(s, "StmtText") {
+			return c.convertText(s)
+		}
+		return nil, fmt.Errorf("convert: sqlserver: unrecognized input")
+	}
+	// Locate the top RelOp elements inside the document.
+	dec := xml.NewDecoder(strings.NewReader(s))
+	plan := &core.Plan{Source: "sqlserver"}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "RelOp" {
+			var rel ssRelOp
+			if err := dec.DecodeElement(&rel, &se); err != nil {
+				return nil, fmt.Errorf("convert: sqlserver xml: %w", err)
+			}
+			plan.Root = c.relOpNode(rel)
+			break
+		}
+	}
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: sqlserver xml: no RelOp element")
+	}
+	return plan, nil
+}
+
+func (c *sqlserverConverter) relOpNode(rel ssRelOp) *core.Node {
+	node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", rel.PhysicalOp)}
+	if rel.EstimateRows != "" {
+		name, cat := c.reg.ResolveProperty("sqlserver", "EstimateRows")
+		addTypedProp(node, cat, name, parseScalar(rel.EstimateRows))
+	}
+	if rel.EstimatedCost != "" {
+		name, cat := c.reg.ResolveProperty("sqlserver", "EstimatedTotalSubtreeCost")
+		addTypedProp(node, cat, name, parseScalar(rel.EstimatedCost))
+	}
+	if rel.LogicalOp != "" {
+		addTypedProp(node, core.Configuration, "logical operation", core.Str(rel.LogicalOp))
+	}
+	if rel.Object.Table != "" {
+		addTypedProp(node, core.Configuration, "name object",
+			core.Str(strings.Trim(rel.Object.Table, "[]")))
+	}
+	// Extract simple child elements (e.g. <Predicate>…</Predicate>) from
+	// the inner XML, skipping nested RelOps which are handled structurally.
+	for key, val := range simpleXMLElements(rel.InnerXML) {
+		name, cat := c.reg.ResolveProperty("sqlserver", key)
+		addTypedProp(node, cat, name, parseScalar(val))
+	}
+	for _, child := range rel.Children {
+		node.Children = append(node.Children, c.relOpNode(child))
+	}
+	return node
+}
+
+// simpleXMLElements extracts top-level scalar elements from an XML
+// fragment, skipping RelOp and Object subtrees.
+func simpleXMLElements(fragment []byte) map[string]string {
+	out := map[string]string{}
+	dec := xml.NewDecoder(bytes.NewReader(fragment))
+	depth := 0
+	current := ""
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 1 {
+				if t.Name.Local == "RelOp" || t.Name.Local == "Object" {
+					if err := dec.Skip(); err != nil {
+						return out
+					}
+					depth--
+					continue
+				}
+				current = t.Name.Local
+				text.Reset()
+			}
+		case xml.CharData:
+			if depth == 1 && current != "" {
+				text.Write(t)
+			}
+		case xml.EndElement:
+			if depth == 1 && current != "" {
+				out[current] = strings.TrimSpace(text.String())
+				current = ""
+			}
+			depth--
+		}
+	}
+	return out
+}
+
+// convertProfileTable parses SET STATISTICS PROFILE tabular output: the
+// StmtText column carries a "|--" tree indented two spaces per level.
+func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
+	rows, header, err := parseAlignedTable(s)
+	if err != nil {
+		return nil, err
+	}
+	stmtIdx, estIdx, costIdx, rowsIdx := -1, -1, -1, -1
+	for i, h := range header {
+		switch h {
+		case "StmtText":
+			stmtIdx = i
+		case "EstimateRows":
+			estIdx = i
+		case "TotalSubtreeCost":
+			costIdx = i
+		case "Rows":
+			rowsIdx = i
+		}
+	}
+	if stmtIdx < 0 {
+		return nil, fmt.Errorf("convert: sqlserver table lacks StmtText column")
+	}
+	plan := &core.Plan{Source: "sqlserver"}
+	type frame struct {
+		node  *core.Node
+		depth int
+	}
+	var stack []frame
+	for _, r := range rows {
+		cell := r[stmtIdx]
+		bar := strings.Index(cell, "|--")
+		depth := 0
+		body := strings.TrimSpace(cell)
+		if bar >= 0 {
+			depth = bar / 2
+			body = strings.TrimSpace(cell[bar+3:])
+		}
+		name := body
+		if i := strings.IndexAny(body, "(["); i > 0 {
+			name = strings.TrimSpace(body[:i])
+		}
+		node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", name)}
+		if i := strings.Index(body, "(["); i >= 0 {
+			rest := body[i+2:]
+			if j := strings.Index(rest, "]"); j >= 0 {
+				addTypedProp(node, core.Configuration, "name object", core.Str(rest[:j]))
+			}
+		}
+		if estIdx >= 0 && strings.TrimSpace(r[estIdx]) != "" {
+			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(r[estIdx]))
+		}
+		if costIdx >= 0 && strings.TrimSpace(r[costIdx]) != "" {
+			addTypedProp(node, core.Cost, "total cost", parseScalar(r[costIdx]))
+		}
+		if rowsIdx >= 0 && strings.TrimSpace(r[rowsIdx]) != "" {
+			addTypedProp(node, core.Cardinality, "actual rows", parseScalar(r[rowsIdx]))
+		}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if plan.Root != nil {
+				return nil, fmt.Errorf("convert: sqlserver table: multiple roots")
+			}
+			plan.Root = node
+		} else {
+			p := stack[len(stack)-1].node
+			p.Children = append(p.Children, node)
+		}
+		stack = append(stack, frame{node, depth})
+	}
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: sqlserver table: empty plan")
+	}
+	return plan, nil
+}
+
+// convertText parses SHOWPLAN_TEXT output: "|--" nesting.
+func (c *sqlserverConverter) convertText(s string) (*core.Plan, error) {
+	plan := &core.Plan{Source: "sqlserver"}
+	type frame struct {
+		node  *core.Node
+		depth int
+	}
+	var stack []frame
+	for _, raw := range strings.Split(s, "\n") {
+		line := strings.TrimRight(raw, " ")
+		t := strings.TrimSpace(line)
+		if t == "" || t == "StmtText" || strings.HasPrefix(t, "---") {
+			continue
+		}
+		bar := strings.Index(line, "|--")
+		depth := 0
+		body := t
+		if bar >= 0 {
+			depth = bar/5 + 1
+			body = strings.TrimSpace(line[bar+3:])
+		}
+		name := body
+		if i := strings.IndexAny(body, "("); i > 0 {
+			name = strings.TrimSpace(body[:i])
+		}
+		if i := strings.Index(name, " WHERE:"); i > 0 {
+			name = strings.TrimSpace(name[:i])
+		}
+		node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", name)}
+		if i := strings.Index(body, "OBJECT:(["); i >= 0 {
+			rest := body[i+9:]
+			if j := strings.Index(rest, "]"); j >= 0 {
+				addTypedProp(node, core.Configuration, "name object", core.Str(rest[:j]))
+			}
+		}
+		if i := strings.Index(body, "WHERE:("); i >= 0 {
+			rest := body[i+7:]
+			if j := strings.LastIndex(rest, ")"); j >= 0 {
+				name, cat := c.reg.ResolveProperty("sqlserver", "Predicate")
+				addTypedProp(node, cat, name, core.Str(rest[:j]))
+			}
+		}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if plan.Root != nil {
+				return nil, fmt.Errorf("convert: sqlserver text: multiple roots")
+			}
+			plan.Root = node
+		} else {
+			p := stack[len(stack)-1].node
+			p.Children = append(p.Children, node)
+		}
+		stack = append(stack, frame{node, depth})
+	}
+	if plan.Root == nil {
+		return nil, fmt.Errorf("convert: sqlserver text: no plan found")
+	}
+	return plan, nil
+}

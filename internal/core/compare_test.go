@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogram(t *testing.T) {
+	p := samplePlan()
+	h := p.Histogram()
+	if h[Producer] != 1 || h[Combinator] != 1 || h[Folder] != 1 || h[Join] != 0 {
+		t.Errorf("histogram = %v", h)
+	}
+	if h.Sum() != 3 {
+		t.Errorf("Sum = %v, want 3", h.Sum())
+	}
+	if len(h) != len(OperationCategories) {
+		t.Errorf("histogram must contain all categories, got %d keys", len(h))
+	}
+}
+
+func TestAverageHistogram(t *testing.T) {
+	p1 := &Plan{Root: NewNode(Producer, "Full Table Scan")}
+	p2 := &Plan{Root: NewNode(Producer, "Full Table Scan").
+		AddChild(NewNode(Producer, "Index Scan"))}
+	avg := AverageHistogram([]*Plan{p1, p2})
+	if avg[Producer] != 1.5 {
+		t.Errorf("avg Producer = %v, want 1.5", avg[Producer])
+	}
+	empty := AverageHistogram(nil)
+	if empty.Sum() != 0 {
+		t.Error("empty average should be all zeros")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if v := Variance([]float64{10, 12, 9, 1, 2}); math.Abs(v-19.76) > 0.01 {
+		t.Errorf("Variance = %v, want ≈19.76", v)
+	}
+	if Variance(nil) != 0 || Variance([]float64{5}) != 0 {
+		t.Error("degenerate variance should be 0")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a, b := samplePlan(), samplePlan()
+	if diffs := Compare(a, b); len(diffs) != 0 {
+		t.Errorf("identical plans should have no diffs: %v", diffs)
+	}
+}
+
+func TestCompareFindsDifferences(t *testing.T) {
+	a := samplePlan()
+	b := samplePlan()
+	b.Root.Op = Operation{Category: Folder, Name: "Sort Aggregate"}
+	b.Root.Children[0].Children[0].Children = append(
+		b.Root.Children[0].Children[0].Children, NewNode(Executor, "Collect"))
+	diffs := Compare(a, b)
+	var kinds []string
+	for _, d := range diffs {
+		kinds = append(kinds, d.Kind)
+		if d.String() == "" {
+			t.Error("diff should render")
+		}
+	}
+	hasOp, hasChildren := false, false
+	for _, k := range kinds {
+		if k == "operation" {
+			hasOp = true
+		}
+		if k == "children" {
+			hasChildren = true
+		}
+	}
+	if !hasOp || !hasChildren {
+		t.Errorf("expected operation and children diffs, got %v", kinds)
+	}
+}
+
+func TestCompareIgnoresUnstableProperties(t *testing.T) {
+	a := samplePlan()
+	b := samplePlan()
+	// Change only Cardinality/Cost/Status values: no diffs expected.
+	b.Root.Properties[1].Value = Num(99999)
+	if diffs := Compare(a, b); len(diffs) != 0 {
+		t.Errorf("cost/cardinality changes should not diff: %v", diffs)
+	}
+	// Changing a Configuration property name does diff.
+	c := samplePlan()
+	c.Root.Properties[0] = Property{Category: Configuration, Name: "other key", Value: Str("x")}
+	if diffs := Compare(a, c); len(diffs) == 0 {
+		t.Error("configuration change should diff")
+	}
+}
+
+func TestTreeEditDistance(t *testing.T) {
+	a := &Plan{Root: NewNode(Producer, "Full Table Scan")}
+	b := &Plan{Root: NewNode(Producer, "Full Table Scan")}
+	if d := TreeEditDistance(a, b); d != 0 {
+		t.Errorf("identical distance = %d", d)
+	}
+	c := &Plan{Root: NewNode(Producer, "Index Scan")}
+	if d := TreeEditDistance(a, c); d != 1 {
+		t.Errorf("rename distance = %d, want 1", d)
+	}
+	d2 := &Plan{Root: NewNode(Combinator, "Sort").AddChild(NewNode(Producer, "Full Table Scan"))}
+	if d := TreeEditDistance(a, d2); d != 1 {
+		t.Errorf("insert distance = %d, want 1", d)
+	}
+	empty := &Plan{}
+	if d := TreeEditDistance(a, empty); d != 1 {
+		t.Errorf("delete-all distance = %d, want 1", d)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		r1 := rand.New(rand.NewSource(s1))
+		r2 := rand.New(rand.NewSource(s2))
+		a := randomPlan(r1, 3)
+		b := randomPlan(r2, 3)
+		sim := Similarity(a, b)
+		return sim >= 0 && sim <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	p := samplePlan()
+	if s := Similarity(p, p); s != 1 {
+		t.Errorf("self similarity = %v", s)
+	}
+	if s := Similarity(&Plan{}, &Plan{}); s != 1 {
+		t.Errorf("empty-plan similarity = %v", s)
+	}
+}
+
+func TestEditDistanceTriangleish(t *testing.T) {
+	// Property: distance is symmetric and zero iff operation trees equal.
+	f := func(s1, s2 int64) bool {
+		a := randomPlan(rand.New(rand.NewSource(s1)), 2)
+		b := randomPlan(rand.New(rand.NewSource(s2)), 2)
+		return TreeEditDistance(a, b) == TreeEditDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootCardinality(t *testing.T) {
+	p := samplePlan()
+	v, ok := p.RootCardinality()
+	if !ok || v != 200 {
+		t.Errorf("RootCardinality = %v %v, want 200", v, ok)
+	}
+	// Transport operator without estimates defers to its child.
+	wrapped := &Plan{Root: NewNode(Executor, "Collect").AddChild(
+		NewNode(Producer, "Full Table Scan").
+			AddProperty(Cardinality, "estimated rows", Num(42)))}
+	v, ok = wrapped.RootCardinality()
+	if !ok || v != 42 {
+		t.Errorf("wrapped RootCardinality = %v %v, want 42", v, ok)
+	}
+	// Property-only plan.
+	flat := &Plan{}
+	flat.AddProperty(Cardinality, "estimated rows", Num(7))
+	v, ok = flat.RootCardinality()
+	if !ok || v != 7 {
+		t.Errorf("flat RootCardinality = %v %v", v, ok)
+	}
+	none := &Plan{Root: NewNode(Producer, "Scan")}
+	if _, ok := none.RootCardinality(); ok {
+		t.Error("plan without estimates should report none")
+	}
+}
+
+func TestCountOperationsAndNames(t *testing.T) {
+	p := samplePlan()
+	if c := p.CountOperations(Producer); c != 1 {
+		t.Errorf("CountOperations(Producer) = %d", c)
+	}
+	names := p.OperationNames()
+	if len(names) != 3 || names[2] != "Full Table Scan" {
+		t.Errorf("OperationNames = %v", names)
+	}
+}

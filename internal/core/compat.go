@@ -1,0 +1,103 @@
+package core
+
+// Forward/backward compatibility helpers (Section IV-B of the paper).
+//
+// Forward compatibility: an application built against an older grammar can
+// consume plans produced with a newer grammar that added categories,
+// operations, or properties. The application either ignores the additions
+// or handles them generically.
+//
+// Backward compatibility: an application built against a newer grammar can
+// consume plans produced with an older grammar, because the newer keyword
+// set is a superset.
+
+// KnownSet captures the vocabulary an application was built against: which
+// categories, operations, and properties it understands. Downgrade projects
+// a plan onto a KnownSet.
+type KnownSet struct {
+	OperationCategories map[OperationCategory]bool
+	PropertyCategories  map[PropertyCategory]bool
+	// Operations/Properties nil means "all names in a known category are
+	// understood"; non-nil restricts to the listed names.
+	Operations map[string]bool
+	Properties map[string]bool
+}
+
+// CurrentKnownSet returns a KnownSet covering the seven operation and four
+// property categories with unrestricted names.
+func CurrentKnownSet() KnownSet {
+	ks := KnownSet{
+		OperationCategories: map[OperationCategory]bool{},
+		PropertyCategories:  map[PropertyCategory]bool{},
+	}
+	for _, c := range OperationCategories {
+		ks.OperationCategories[c] = true
+	}
+	for _, c := range PropertyCategories {
+		ks.PropertyCategories[c] = true
+	}
+	return ks
+}
+
+// GenericOperationName is the placeholder name Downgrade substitutes for an
+// operation the application does not understand; a visualization tool would
+// render it as a generic shape (Section IV-B).
+const GenericOperationName = "Unknown Operation"
+
+// Downgrade returns a copy of the plan in which content outside the known
+// set is handled generically rather than dropped silently:
+//
+//   - operations with an unknown category become Executor-category
+//     operations named GenericOperationName, with the original rendering
+//     preserved in a Configuration property "original operation";
+//   - operations in a known category but with an unknown name keep their
+//     category and are renamed to GenericOperationName (original kept the
+//     same way);
+//   - properties with unknown categories or names are dropped, matching
+//     "parse the revised representation by ignoring the newly added
+//     categories, operations, and properties".
+//
+// The result always validates against the current grammar.
+func Downgrade(p *Plan, ks KnownSet) *Plan {
+	out := p.Clone()
+	mapProps := func(props []Property) []Property {
+		var kept []Property
+		for _, pr := range props {
+			if !ks.PropertyCategories[pr.Category] {
+				continue
+			}
+			if ks.Properties != nil && !ks.Properties[pr.Name] {
+				continue
+			}
+			kept = append(kept, pr)
+		}
+		return kept
+	}
+	out.Properties = mapProps(out.Properties)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		known := ks.OperationCategories[n.Op.Category]
+		nameKnown := ks.Operations == nil || ks.Operations[n.Op.Name]
+		if !known || !nameKnown {
+			orig := n.Op.String()
+			if !known {
+				n.Op.Category = Executor
+			}
+			n.Op.Name = GenericOperationName
+			n.Properties = append(n.Properties, Property{
+				Category: Configuration,
+				Name:     "original operation",
+				Value:    Str(orig),
+			})
+		}
+		n.Properties = mapProps(n.Properties)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(out.Root)
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+func TestDowngradeUnknownCategory(t *testing.T) {
+	// A "newer" producer invents an eighth category.
+	p := &Plan{Root: &Node{Op: Operation{Category: "Predictor", Name: "ML Choose"}}}
+	p.Root.AddChild(NewNode(Producer, "Full Table Scan"))
+	out := Downgrade(p, CurrentKnownSet())
+	if err := out.Validate(); err != nil {
+		t.Fatalf("downgraded plan must validate: %v", err)
+	}
+	if out.Root.Op.Category != Executor || out.Root.Op.Name != GenericOperationName {
+		t.Errorf("unknown category should become generic Executor: %v", out.Root.Op)
+	}
+	if pr, ok := out.Root.Property("original operation"); !ok ||
+		pr.Value.Str != "Predictor->ML Choose" {
+		t.Errorf("original operation must be preserved: %v", out.Root.Properties)
+	}
+	// Known child untouched.
+	if out.Root.Children[0].Op.Name != "Full Table Scan" {
+		t.Errorf("known child altered: %v", out.Root.Children[0].Op)
+	}
+}
+
+func TestDowngradeUnknownOperationName(t *testing.T) {
+	ks := CurrentKnownSet()
+	ks.Operations = map[string]bool{"Full Table Scan": true}
+	p := &Plan{Root: NewNode(Join, "LLM Join").
+		AddChild(NewNode(Producer, "Full Table Scan"))}
+	out := Downgrade(p, ks)
+	if out.Root.Op.Category != Join {
+		t.Error("known category must be preserved for unknown names")
+	}
+	if out.Root.Op.Name != GenericOperationName {
+		t.Errorf("unknown name should become generic: %q", out.Root.Op.Name)
+	}
+	if out.Root.Children[0].Op.Name != "Full Table Scan" {
+		t.Error("known operation renamed")
+	}
+}
+
+func TestDowngradeDropsUnknownProperties(t *testing.T) {
+	p := &Plan{Root: NewNode(Producer, "Full Table Scan")}
+	p.Root.Properties = append(p.Root.Properties,
+		Property{Category: "Telemetry", Name: "gpu time", Value: Num(3)},
+		Property{Category: Configuration, Name: "filter", Value: Str("x")},
+	)
+	p.Properties = append(p.Properties,
+		Property{Category: "Telemetry", Name: "cluster", Value: Str("c1")})
+	out := Downgrade(p, CurrentKnownSet())
+	if len(out.Root.Properties) != 1 || out.Root.Properties[0].Name != "filter" {
+		t.Errorf("unknown property category must be dropped: %v", out.Root.Properties)
+	}
+	if len(out.Properties) != 0 {
+		t.Errorf("unknown plan property must be dropped: %v", out.Properties)
+	}
+}
+
+func TestDowngradeRestrictedPropertyNames(t *testing.T) {
+	ks := CurrentKnownSet()
+	ks.Properties = map[string]bool{"filter": true}
+	p := &Plan{Root: NewNode(Producer, "Full Table Scan").
+		AddProperty(Configuration, "filter", Str("a")).
+		AddProperty(Configuration, "exotic knob", Str("b"))}
+	out := Downgrade(p, ks)
+	if len(out.Root.Properties) != 1 || out.Root.Properties[0].Name != "filter" {
+		t.Errorf("restricted property set not honored: %v", out.Root.Properties)
+	}
+}
+
+func TestDowngradeLeavesOriginalUntouched(t *testing.T) {
+	p := &Plan{Root: &Node{Op: Operation{Category: "Future", Name: "X"}}}
+	_ = Downgrade(p, CurrentKnownSet())
+	if p.Root.Op.Category != "Future" {
+		t.Error("Downgrade must not mutate its input")
+	}
+}
+
+func TestBackwardCompatibility(t *testing.T) {
+	// A plan produced by an "older" grammar (fewer keywords) is a subset of
+	// the current one and passes through Downgrade unchanged.
+	p := samplePlan()
+	out := Downgrade(p, CurrentKnownSet())
+	if !p.Equal(out) {
+		t.Error("old-grammar plan should survive Downgrade unchanged")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// Fingerprinting gives QPG (Query Plan Guidance) its core primitive:
+// deciding whether a query plan is structurally new. Per Section V-A.1,
+// this requires ignoring unstable information — random identifiers,
+// estimated costs and cardinalities, and runtime status — while keeping the
+// operation tree and, optionally, configuration shape.
+
+// FingerprintOptions controls which plan details participate in the
+// fingerprint. The zero value is the strictest useful setting: operations
+// only.
+type FingerprintOptions struct {
+	// IncludeConfiguration folds Configuration property names (not values)
+	// into the fingerprint, so e.g. a scan with a filter differs from one
+	// without.
+	IncludeConfiguration bool
+	// IncludeConfigurationValues additionally folds normalized Configuration
+	// values in. Numeric literals inside values are canonicalized to '?' so
+	// that predicates differing only in constants collide, mirroring the
+	// paper's removal of unstable identifiers.
+	IncludeConfigurationValues bool
+	// IncludePlanProperties folds plan-associated Configuration property
+	// names in.
+	IncludePlanProperties bool
+}
+
+// Fingerprint returns a stable hex digest of the plan under the given
+// options. Two plans share a fingerprint iff they are structurally
+// equivalent at the chosen granularity.
+func (p *Plan) Fingerprint(opts FingerprintOptions) string {
+	var b strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(string(n.Op.Category))
+		b.WriteByte('|')
+		b.WriteString(n.Op.Name)
+		if opts.IncludeConfiguration || opts.IncludeConfigurationValues {
+			props := append([]Property(nil), n.Properties...)
+			SortProperties(props)
+			for _, pr := range props {
+				if pr.Category != Configuration {
+					continue
+				}
+				b.WriteByte(';')
+				b.WriteString(pr.Name)
+				if opts.IncludeConfigurationValues {
+					b.WriteByte('=')
+					b.WriteString(NormalizeUnstable(pr.Value.String()))
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		b.WriteByte(')')
+	}
+	walk(p.Root)
+	if opts.IncludePlanProperties {
+		props := append([]Property(nil), p.Properties...)
+		SortProperties(props)
+		for _, pr := range props {
+			if pr.Category != Configuration {
+				continue
+			}
+			b.WriteByte('~')
+			b.WriteString(pr.Name)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// NormalizeUnstable canonicalizes unstable tokens inside a property value:
+// standalone runs of digits become '?' (random identifiers, literal
+// constants, cost numbers) and whitespace is collapsed. Digits directly
+// following a letter are kept, so column names like "c0" survive while
+// operator suffixes like "TableFullScan_17" normalize. The original QPG
+// implementation for TiDB had a bug in exactly this step (Section V-A.1);
+// centralizing it here is the paper's argument for the unified
+// representation.
+func NormalizeUnstable(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inDigits := false
+	lastSpace := false
+	prevLetter := false
+	for _, r := range s {
+		isLetter := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		switch {
+		case r >= '0' && r <= '9':
+			if prevLetter {
+				// Digits glued to a letter are part of an identifier.
+				b.WriteRune(r)
+			} else if !inDigits {
+				b.WriteByte('?')
+				inDigits = true
+			}
+			lastSpace = false
+		case r == ' ' || r == '\t' || r == '\n':
+			inDigits = false
+			prevLetter = false
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		default:
+			inDigits = false
+			prevLetter = isLetter
+			lastSpace = false
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// FingerprintSet tracks observed plan fingerprints; it is QPG's coverage
+// map. The zero value is not usable; construct with NewFingerprintSet.
+type FingerprintSet struct {
+	opts FingerprintOptions
+	seen map[string]int
+}
+
+// NewFingerprintSet returns an empty set using the given options.
+func NewFingerprintSet(opts FingerprintOptions) *FingerprintSet {
+	return &FingerprintSet{opts: opts, seen: map[string]int{}}
+}
+
+// Observe records the plan's fingerprint and reports whether it was new.
+func (s *FingerprintSet) Observe(p *Plan) bool {
+	fp := p.Fingerprint(s.opts)
+	s.seen[fp]++
+	return s.seen[fp] == 1
+}
+
+// Size returns the number of distinct fingerprints observed.
+func (s *FingerprintSet) Size() int { return len(s.seen) }
+
+// Count returns how many times the plan's fingerprint has been observed.
+func (s *FingerprintSet) Count(p *Plan) int { return s.seen[p.Fingerprint(s.opts)] }

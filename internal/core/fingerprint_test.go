@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFingerprintIgnoresUnstableInfo(t *testing.T) {
+	a := samplePlan()
+	b := samplePlan()
+	// Perturb costs, cardinalities, and status.
+	b.Root.Properties[1].Value = Num(123456)
+	b.Properties[0].Value = Num(9.99)
+	for _, opts := range []FingerprintOptions{
+		{},
+		{IncludeConfiguration: true},
+		{IncludeConfiguration: true, IncludeConfigurationValues: true},
+	} {
+		if a.Fingerprint(opts) != b.Fingerprint(opts) {
+			t.Errorf("fingerprints must ignore unstable info (opts=%+v)", opts)
+		}
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	a := samplePlan()
+	b := samplePlan()
+	b.Root.AddChild(NewNode(Executor, "Collect"))
+	if a.Fingerprint(FingerprintOptions{}) == b.Fingerprint(FingerprintOptions{}) {
+		t.Error("added node must change the fingerprint")
+	}
+	c := samplePlan()
+	c.Root.Op.Name = "Sort Aggregate"
+	if a.Fingerprint(FingerprintOptions{}) == c.Fingerprint(FingerprintOptions{}) {
+		t.Error("renamed operation must change the fingerprint")
+	}
+}
+
+func TestFingerprintConfigurationGranularity(t *testing.T) {
+	base := samplePlan()
+	noFilter := samplePlan()
+	// Remove the scan's filter Configuration property.
+	scan := noFilter.Root.Children[0].Children[0]
+	var kept []Property
+	for _, pr := range scan.Properties {
+		if pr.Name != "filter" {
+			kept = append(kept, pr)
+		}
+	}
+	scan.Properties = kept
+
+	plain := FingerprintOptions{}
+	withCfg := FingerprintOptions{IncludeConfiguration: true}
+	if base.Fingerprint(plain) != noFilter.Fingerprint(plain) {
+		t.Error("ops-only fingerprint should not see configuration")
+	}
+	if base.Fingerprint(withCfg) == noFilter.Fingerprint(withCfg) {
+		t.Error("configuration fingerprint must see the filter property")
+	}
+}
+
+func TestFingerprintNormalizesConstants(t *testing.T) {
+	mk := func(pred string) *Plan {
+		return &Plan{Root: NewNode(Producer, "Full Table Scan").
+			AddProperty(Configuration, "filter", Str(pred))}
+	}
+	opts := FingerprintOptions{IncludeConfiguration: true, IncludeConfigurationValues: true}
+	if mk("c0 < 100").Fingerprint(opts) != mk("c0 < 999").Fingerprint(opts) {
+		t.Error("predicates differing only in constants must collide")
+	}
+	if mk("c0 < 100").Fingerprint(opts) == mk("c1 < 100").Fingerprint(opts) {
+		t.Error("different columns must not collide")
+	}
+}
+
+func TestFingerprintPlanProperties(t *testing.T) {
+	a := &Plan{Root: NewNode(Producer, "Scan")}
+	b := a.Clone()
+	b.AddProperty(Configuration, "optimizer mode", Str("aggressive"))
+	opts := FingerprintOptions{IncludePlanProperties: true}
+	if a.Fingerprint(opts) == b.Fingerprint(opts) {
+		t.Error("plan-level configuration should affect fingerprint when enabled")
+	}
+	if a.Fingerprint(FingerprintOptions{}) != b.Fingerprint(FingerprintOptions{}) {
+		t.Error("plan-level configuration ignored by default")
+	}
+}
+
+func TestFingerprintSet(t *testing.T) {
+	s := NewFingerprintSet(FingerprintOptions{})
+	p1 := samplePlan()
+	if !s.Observe(p1) {
+		t.Error("first observation must be new")
+	}
+	if s.Observe(p1.Clone()) {
+		t.Error("second observation must not be new")
+	}
+	p2 := samplePlan()
+	p2.Root.AddChild(NewNode(Executor, "Collect"))
+	if !s.Observe(p2) {
+		t.Error("structurally different plan must be new")
+	}
+	if s.Size() != 2 {
+		t.Errorf("Size = %d, want 2", s.Size())
+	}
+	if s.Count(p1) != 2 {
+		t.Errorf("Count = %d, want 2", s.Count(p1))
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomPlan(rand.New(rand.NewSource(seed)), 3)
+		opts := FingerprintOptions{IncludeConfiguration: true, IncludeConfigurationValues: true}
+		return p.Fingerprint(opts) == p.Clone().Fingerprint(opts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintPropertyOrderIndependence(t *testing.T) {
+	a := &Plan{Root: NewNode(Producer, "Scan").
+		AddProperty(Configuration, "a", Str("1")).
+		AddProperty(Configuration, "b", Str("2"))}
+	b := &Plan{Root: NewNode(Producer, "Scan").
+		AddProperty(Configuration, "b", Str("2")).
+		AddProperty(Configuration, "a", Str("1"))}
+	opts := FingerprintOptions{IncludeConfiguration: true, IncludeConfigurationValues: true}
+	if a.Fingerprint(opts) != b.Fingerprint(opts) {
+		t.Error("property order must not affect fingerprints")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements the structured JSON format of the unified query plan
+// representation. The schema mirrors the EBNF directly:
+//
+//	{
+//	  "source": "postgresql",
+//	  "tree": {
+//	    "operation": {"category": "Producer", "name": "Full Table Scan"},
+//	    "properties": [
+//	      {"category": "Cardinality", "name": "rows", "value": 1050}
+//	    ],
+//	    "children": [ ... ]
+//	  },
+//	  "properties": [
+//	    {"category": "Status", "name": "planning_time", "value": 0.124}
+//	  ]
+//	}
+//
+// Unknown JSON fields are ignored on decode (forward compatibility);
+// the "tree" field is optional (InfluxDB-style property-only plans).
+
+type jsonPlan struct {
+	Source     string         `json:"source,omitempty"`
+	Tree       *jsonNode      `json:"tree,omitempty"`
+	Properties []jsonProperty `json:"properties,omitempty"`
+}
+
+type jsonNode struct {
+	Operation  jsonOperation  `json:"operation"`
+	Properties []jsonProperty `json:"properties,omitempty"`
+	Children   []*jsonNode    `json:"children,omitempty"`
+}
+
+type jsonOperation struct {
+	Category string `json:"category"`
+	Name     string `json:"name"`
+}
+
+type jsonProperty struct {
+	Category string          `json:"category"`
+	Name     string          `json:"name"`
+	Value    json.RawMessage `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler for Plan.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.toJSON())
+}
+
+// MarshalJSONIndent renders the plan as indented JSON.
+func (p *Plan) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(p.toJSON(), "", "  ")
+}
+
+func (p *Plan) toJSON() jsonPlan {
+	jp := jsonPlan{Source: p.Source, Properties: propsToJSON(p.Properties)}
+	var conv func(n *Node) *jsonNode
+	conv = func(n *Node) *jsonNode {
+		if n == nil {
+			return nil
+		}
+		jn := &jsonNode{
+			Operation:  jsonOperation{Category: string(n.Op.Category), Name: n.Op.Name},
+			Properties: propsToJSON(n.Properties),
+		}
+		for _, c := range n.Children {
+			jn.Children = append(jn.Children, conv(c))
+		}
+		return jn
+	}
+	jp.Tree = conv(p.Root)
+	return jp
+}
+
+func propsToJSON(props []Property) []jsonProperty {
+	if len(props) == 0 {
+		return nil
+	}
+	out := make([]jsonProperty, 0, len(props))
+	for _, pr := range props {
+		raw, _ := json.Marshal(valueToAny(pr.Value))
+		out = append(out, jsonProperty{
+			Category: string(pr.Category),
+			Name:     pr.Name,
+			Value:    raw,
+		})
+	}
+	return out
+}
+
+func valueToAny(v Value) any {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindNumber:
+		return v.Num
+	case KindBool:
+		return v.Bool
+	default:
+		return nil
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Plan.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var jp jsonPlan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&jp); err != nil {
+		return fmt.Errorf("core: invalid unified plan JSON: %w", err)
+	}
+	props, err := propsFromJSON(jp.Properties)
+	if err != nil {
+		return err
+	}
+	p.Source = jp.Source
+	p.Properties = props
+	var conv func(jn *jsonNode) (*Node, error)
+	conv = func(jn *jsonNode) (*Node, error) {
+		if jn == nil {
+			return nil, nil
+		}
+		props, err := propsFromJSON(jn.Properties)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			Op: Operation{
+				Category: OperationCategory(jn.Operation.Category),
+				Name:     jn.Operation.Name,
+			},
+			Properties: props,
+		}
+		for _, jc := range jn.Children {
+			c, err := conv(jc)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+	root, err := conv(jp.Tree)
+	if err != nil {
+		return err
+	}
+	p.Root = root
+	return nil
+}
+
+func propsFromJSON(jprops []jsonProperty) ([]Property, error) {
+	var out []Property
+	for _, jp := range jprops {
+		v, err := valueFromRaw(jp.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: property %q: %w", jp.Name, err)
+		}
+		out = append(out, Property{
+			Category: PropertyCategory(jp.Category),
+			Name:     jp.Name,
+			Value:    v,
+		})
+	}
+	return out, nil
+}
+
+func valueFromRaw(raw json.RawMessage) (Value, error) {
+	if len(raw) == 0 {
+		return Null(), nil
+	}
+	var any interface{}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&any); err != nil {
+		return Value{}, err
+	}
+	switch t := any.(type) {
+	case nil:
+		return Null(), nil
+	case string:
+		return Str(t), nil
+	case bool:
+		return BoolVal(t), nil
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return Value{}, err
+		}
+		return Num(f), nil
+	default:
+		// Composite values (arrays/objects) are flattened to their JSON
+		// text; the grammar only supports scalars, but tolerating composites
+		// keeps converters for exotic plans lossless.
+		return Str(string(raw)), nil
+	}
+}
+
+// ParseJSON parses a unified plan from its JSON serialization.
+func ParseJSON(data []byte) (*Plan, error) {
+	p := &Plan{}
+	if err := p.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

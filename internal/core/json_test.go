@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := samplePlan()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(got) {
+		t.Fatalf("round trip mismatch:\nin:  %s\nout: %s",
+			p.MarshalText(), got.MarshalText())
+	}
+	if got.Source != "postgresql" {
+		t.Errorf("Source lost: %q", got.Source)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	p := &Plan{Root: NewNode(Producer, "Full Table Scan").
+		AddProperty(Cardinality, "estimated rows", Num(10))}
+	data, err := p.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"operation"`, `"category": "Producer"`, `"name": "Full Table Scan"`,
+		`"estimated rows"`, `"value": 10`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJSONPropertyOnlyPlan(t *testing.T) {
+	p := &Plan{Source: "influxdb"}
+	p.AddProperty(Cardinality, "TotalSeries", Num(5))
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"tree"`) {
+		t.Errorf("empty tree should be omitted: %s", data)
+	}
+	got, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != nil || len(got.Properties) != 1 {
+		t.Errorf("bad round trip: %+v", got)
+	}
+}
+
+func TestJSONValueKinds(t *testing.T) {
+	p := &Plan{}
+	p.AddProperty(Configuration, "s", Str("x"))
+	p.AddProperty(Cardinality, "n", Num(1.5))
+	p.AddProperty(Status, "b", BoolVal(true))
+	p.AddProperty(Status, "z", Null())
+	data, _ := json.Marshal(p)
+	got, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Properties[0].Value.Equal(Str("x")) ||
+		!got.Properties[1].Value.Equal(Num(1.5)) ||
+		!got.Properties[2].Value.Equal(BoolVal(true)) ||
+		!got.Properties[3].Value.Equal(Null()) {
+		t.Errorf("value kinds lost: %+v", got.Properties)
+	}
+}
+
+func TestJSONIgnoresUnknownFields(t *testing.T) {
+	// Forward compatibility: a newer producer may add fields.
+	in := `{
+	  "source": "x",
+	  "futureField": {"a": 1},
+	  "tree": {
+	    "operation": {"category": "Producer", "name": "Scan", "futureAttr": 7},
+	    "children": []
+	  }
+	}`
+	p, err := ParseJSON([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root == nil || p.Root.Op.Name != "Scan" {
+		t.Errorf("parse with unknown fields failed: %+v", p)
+	}
+}
+
+func TestJSONCompositeValueTolerated(t *testing.T) {
+	in := `{"properties":[{"category":"Configuration","name":"keys","value":["a","b"]}]}`
+	p, err := ParseJSON([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Properties[0].Value.Kind != KindString ||
+		!strings.Contains(p.Properties[0].Value.Str, `"a"`) {
+		t.Errorf("composite value should flatten to JSON text: %+v", p.Properties[0])
+	}
+}
+
+func TestJSONInvalid(t *testing.T) {
+	if _, err := ParseJSON([]byte(`{`)); err == nil {
+		t.Error("invalid JSON must error")
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPlan(r, 3)
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		got, err := ParseJSON(data)
+		if err != nil {
+			return false
+		}
+		return p.Equal(got)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextAndJSONAgree(t *testing.T) {
+	// The two structured serializations must describe identical plans.
+	p := samplePlan()
+	data, _ := json.Marshal(p)
+	viaJSON, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaText, err := ParseText(p.MarshalIndentedText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaJSON.Equal(viaText) {
+		t.Error("JSON and indented text round trips disagree")
+	}
+}

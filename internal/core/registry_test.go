@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaultRegistryResolvesPaperExamples(t *testing.T) {
+	r := DefaultRegistry()
+	// The paper's canonical example: Seq Scan (PostgreSQL), Table Scan
+	// (SQL Server), TableFullScan (TiDB) all map to Full Table Scan.
+	cases := []struct{ dialect, native string }{
+		{"postgresql", "Seq Scan"},
+		{"sqlserver", "Table Scan"},
+		{"tidb", "TableFullScan"},
+		{"mysql", "Table scan"},
+		{"sqlite", "SCAN"},
+	}
+	for _, c := range cases {
+		op := r.ResolveOperation(c.dialect, c.native)
+		if op.Name != "Full Table Scan" || op.Category != Producer {
+			t.Errorf("%s/%s resolved to %v, want Producer->Full Table Scan",
+				c.dialect, c.native, op)
+		}
+	}
+}
+
+func TestRegistryCaseInsensitiveAliases(t *testing.T) {
+	r := DefaultRegistry()
+	op := r.ResolveOperation("tidb", "tablefullscan")
+	if op.Name != "Full Table Scan" {
+		t.Errorf("case-insensitive resolution failed: %v", op)
+	}
+}
+
+func TestRegistryFallbackUnknownOperation(t *testing.T) {
+	r := DefaultRegistry()
+	op := r.ResolveOperation("postgresql", "Quantum Scan")
+	if op.Category != Executor || op.Name != "Quantum Scan" {
+		t.Errorf("unknown op fallback = %v, want Executor->Quantum Scan", op)
+	}
+}
+
+func TestRegistryResolveProperty(t *testing.T) {
+	r := DefaultRegistry()
+	name, cat := r.ResolveProperty("postgresql", "Sort Key")
+	if name != "sort key" || cat != Configuration {
+		t.Errorf("Sort Key resolved to %q/%q", name, cat)
+	}
+	name, cat = r.ResolveProperty("tidb", "estRows")
+	if name != "estimated rows" || cat != Cardinality {
+		t.Errorf("estRows resolved to %q/%q", name, cat)
+	}
+	// Unknown property: falls back to Configuration with native name.
+	name, cat = r.ResolveProperty("mysql", "mystery_prop")
+	if name != "mystery_prop" || cat != Configuration {
+		t.Errorf("unknown property fallback = %q/%q", name, cat)
+	}
+}
+
+func TestRegistryLLMJoinExtensibility(t *testing.T) {
+	// Section IV-B walkthrough: PostgreSQL adds an LLM-based join operation.
+	r := DefaultRegistry()
+	v0 := r.Version()
+	r.AddOperation("LLM Join", Join, "join via a large language model")
+	if r.Version() <= v0 {
+		t.Error("version must advance on AddOperation")
+	}
+	if err := r.AliasOperation("postgresql", "LLM Join", "LLM Join"); err != nil {
+		t.Fatal(err)
+	}
+	op := r.ResolveOperation("postgresql", "LLM Join")
+	if op.Category != Join || op.Name != "LLM Join" {
+		t.Errorf("LLM Join resolution = %v", op)
+	}
+	// Deprecation: removing the keyword reverts to generic handling.
+	if !r.RemoveOperation("LLM Join") {
+		t.Fatal("RemoveOperation should report true")
+	}
+	op = r.ResolveOperation("postgresql", "LLM Join")
+	if op.Category != Executor {
+		t.Errorf("removed op should fall back to Executor, got %v", op)
+	}
+	if r.RemoveOperation("LLM Join") {
+		t.Error("second removal should report false")
+	}
+}
+
+func TestRegistryAliasRequiresTarget(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AliasOperation("x", "A", "Missing"); err == nil {
+		t.Error("alias to unregistered operation must fail")
+	}
+	if err := r.AliasProperty("x", "A", "Missing"); err == nil {
+		t.Error("alias to unregistered property must fail")
+	}
+}
+
+func TestRegistryEnumerations(t *testing.T) {
+	r := DefaultRegistry()
+	ops := r.Operations()
+	if len(ops) < 50 {
+		t.Errorf("expected a rich default vocabulary, got %d operations", len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Name >= ops[i].Name {
+			t.Fatal("Operations() must be sorted")
+		}
+	}
+	props := r.Properties()
+	if len(props) < 20 {
+		t.Errorf("expected default property vocabulary, got %d", len(props))
+	}
+	counts := r.OperationCountByCategory()
+	if counts[Producer] == 0 || counts[Join] == 0 || counts[Consumer] == 0 {
+		t.Errorf("category counts incomplete: %v", counts)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := DefaultRegistry()
+	def, ok := r.Operation("Hash Join")
+	if !ok || def.Category != Join || def.Doc == "" {
+		t.Errorf("Hash Join lookup: %+v %v", def, ok)
+	}
+	pdef, ok := r.Property("filter")
+	if !ok || pdef.Category != Configuration {
+		t.Errorf("filter lookup: %+v %v", pdef, ok)
+	}
+	if _, ok := r.Operation("No Such"); ok {
+		t.Error("missing op reported present")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := DefaultRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.ResolveOperation("postgresql", "Seq Scan")
+				if i%2 == 0 {
+					r.AddOperation("Temp Op", Executor, "")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,315 @@
+package dbms
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/explain"
+)
+
+// tableII is the paper's Table II: operations and properties per category.
+var tableIIOps = map[string]map[core.OperationCategory]int{
+	"influxdb":   {core.Producer: 0, core.Combinator: 0, core.Join: 0, core.Folder: 0, core.Projector: 0, core.Executor: 0, core.Consumer: 0},
+	"mongodb":    {core.Producer: 14, core.Combinator: 9, core.Join: 0, core.Folder: 5, core.Projector: 3, core.Executor: 10, core.Consumer: 3},
+	"mysql":      {core.Producer: 15, core.Combinator: 3, core.Join: 2, core.Folder: 1, core.Projector: 0, core.Executor: 2, core.Consumer: 0},
+	"neo4j":      {core.Producer: 18, core.Combinator: 11, core.Join: 43, core.Folder: 6, core.Projector: 3, core.Executor: 17, core.Consumer: 13},
+	"postgresql": {core.Producer: 18, core.Combinator: 8, core.Join: 3, core.Folder: 3, core.Projector: 0, core.Executor: 9, core.Consumer: 1},
+	"sqlserver":  {core.Producer: 15, core.Combinator: 3, core.Join: 3, core.Folder: 3, core.Projector: 0, core.Executor: 16, core.Consumer: 19},
+	"sqlite":     {core.Producer: 3, core.Combinator: 6, core.Join: 3, core.Folder: 0, core.Projector: 0, core.Executor: 5, core.Consumer: 0},
+	"sparksql":   {core.Producer: 7, core.Combinator: 1, core.Join: 2, core.Folder: 6, core.Projector: 0, core.Executor: 43, core.Consumer: 18},
+	"tidb":       {core.Producer: 19, core.Combinator: 6, core.Join: 7, core.Folder: 5, core.Projector: 1, core.Executor: 13, core.Consumer: 5},
+}
+
+var tableIIProps = map[string]map[core.PropertyCategory]int{
+	"influxdb":   {core.Cardinality: 5, core.Cost: 0, core.Configuration: 0, core.Status: 1},
+	"mongodb":    {core.Cardinality: 16, core.Cost: 5, core.Configuration: 18, core.Status: 12},
+	"mysql":      {core.Cardinality: 3, core.Cost: 6, core.Configuration: 3, core.Status: 10},
+	"neo4j":      {core.Cardinality: 3, core.Cost: 3, core.Configuration: 12, core.Status: 7},
+	"postgresql": {core.Cardinality: 8, core.Cost: 17, core.Configuration: 42, core.Status: 40},
+	"sqlserver":  {core.Cardinality: 4, core.Cost: 4, core.Configuration: 7, core.Status: 3},
+	"sqlite":     {core.Cardinality: 0, core.Cost: 0, core.Configuration: 3, core.Status: 0},
+	"sparksql":   {core.Cardinality: 11, core.Cost: 11, core.Configuration: 0, core.Status: 0},
+	"tidb":       {core.Cardinality: 2, core.Cost: 5, core.Configuration: 4, core.Status: 1},
+}
+
+func TestVocabulariesMatchTableII(t *testing.T) {
+	for name, wantOps := range tableIIOps {
+		v, ok := VocabularyFor(name)
+		if !ok {
+			t.Fatalf("no vocabulary for %s", name)
+		}
+		got := v.OperationCount()
+		for cat, want := range wantOps {
+			if got[cat] != want {
+				t.Errorf("%s operations %s = %d, want %d", name, cat, got[cat], want)
+			}
+		}
+		gotProps := v.PropertyCount()
+		for cat, want := range tableIIProps[name] {
+			if gotProps[cat] != want {
+				t.Errorf("%s properties %s = %d, want %d", name, cat, gotProps[cat], want)
+			}
+		}
+	}
+}
+
+func TestVocabularyNamesAreUnique(t *testing.T) {
+	for name, v := range Vocabularies {
+		seen := map[string]bool{}
+		for cat, names := range v.Operations {
+			for _, n := range names {
+				if seen[n] {
+					t.Errorf("%s: duplicate operation %q in %s", name, n, cat)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	for _, name := range Names() {
+		e, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if e.Info.Name != name {
+			t.Errorf("info mismatch for %s", name)
+		}
+	}
+	if _, err := New("oracle"); err == nil {
+		t.Error("unknown engine must fail")
+	}
+}
+
+func seedEngine(t *testing.T, e *Engine) {
+	t.Helper()
+	stmts := []string{
+		"CREATE TABLE t0 (c0 INT PRIMARY KEY, c1 INT, c2 TEXT)",
+		"INSERT INTO t0 VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'a')",
+	}
+	for _, s := range stmts {
+		if _, err := e.Execute(s); err != nil {
+			t.Fatalf("%s: seed %q: %v", e.Info.Name, s, err)
+		}
+	}
+	if err := e.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllEnginesExecuteAndExplain(t *testing.T) {
+	query := "SELECT c2, COUNT(*) FROM t0 WHERE c1 > 5 GROUP BY c2 ORDER BY c2 LIMIT 10"
+	for _, name := range Names() {
+		e := MustNew(name)
+		seedEngine(t, e)
+		res, err := e.Execute(query)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", name, err)
+		}
+		if len(res.Rows) != 2 {
+			t.Errorf("%s: rows = %d, want 2", name, len(res.Rows))
+		}
+		for _, f := range e.SupportedFormats() {
+			out, err := e.Explain(query, f)
+			if err != nil {
+				t.Fatalf("%s: explain %s: %v", name, f, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Errorf("%s: empty %s explain", name, f)
+			}
+		}
+	}
+}
+
+func TestExplainAnalyzeIncludesActuals(t *testing.T) {
+	e := MustNew("postgresql")
+	seedEngine(t, e)
+	out, err := e.ExplainAnalyze("SELECT * FROM t0 WHERE c1 > 5", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "actual time=") || !strings.Contains(out, "Execution Time") {
+		t.Errorf("analyze output missing actuals:\n%s", out)
+	}
+}
+
+func TestPostgresTextShape(t *testing.T) {
+	e := MustNew("postgresql")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c2, COUNT(*) FROM t0 WHERE c1 < 100 GROUP BY c2", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HashAggregate", "Group Key: c2", "Seq Scan on t0",
+		"Filter:", "(cost=", "rows=", "Planning Time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("postgres text missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Project") {
+		t.Errorf("PostgreSQL plans must not contain projection operators:\n%s", out)
+	}
+}
+
+func TestTiDBTableShape(t *testing.T) {
+	e := MustNew("tidb")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c1 FROM t0 WHERE c1 < 100", explain.FormatTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TableReader_", "Selection_", "TableFullScan_",
+		"cop[tikv]", "estRows", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tidb table missing %q:\n%s", want, out)
+		}
+	}
+	// Unstable identifiers: the same query gets different suffixes next time.
+	out2, _ := e.Explain("SELECT c1 FROM t0 WHERE c1 < 100", explain.FormatTable)
+	if out == out2 {
+		t.Error("TiDB operator identifiers should be unstable across queries")
+	}
+}
+
+func TestSQLiteTextShape(t *testing.T) {
+	e := MustNew("sqlite")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c0 FROM t0 WHERE c0 = 1 UNION SELECT c1 FROM t0 GROUP BY c1", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"QUERY PLAN", "COMPOUND QUERY", "LEFT-MOST SUBQUERY",
+		"UNION USING TEMP B-TREE", "SEARCH t0", "USE TEMP B-TREE FOR GROUP BY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sqlite text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMongoJSONShape(t *testing.T) {
+	e := MustNew("mongodb")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c1, c2 FROM t0 WHERE c1 > 5", explain.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"queryPlanner", "winningPlan", "COLLSCAN", "PROJECTION_DEFAULT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mongo json missing %q:\n%s", want, out)
+		}
+	}
+	// SELECT * has no projection stage.
+	out, err = e.Explain("SELECT * FROM t0", explain.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "PROJECTION") {
+		t.Errorf("SELECT * should not project:\n%s", out)
+	}
+}
+
+func TestNeo4jShape(t *testing.T) {
+	e := MustNew("neo4j")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c1 FROM t0 WHERE c1 > 5", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Planner COST", "Runtime version", "+ProduceResults",
+		"NodeByLabelScan", "Total database accesses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("neo4j table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkShape(t *testing.T) {
+	e := MustNew("sparksql")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c2, SUM(c1) FROM t0 GROUP BY c2", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== Physical Plan ==", "AdaptiveSparkPlan",
+		"HashAggregate", "Exchange", "FileScan", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spark text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSQLServerXMLShape(t *testing.T) {
+	e := MustNew("sqlserver")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c1 FROM t0 WHERE c1 > 5", explain.FormatXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<ShowPlanXML", "RelOp", "PhysicalOp=", "EstimateRows="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sqlserver xml missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfluxShape(t *testing.T) {
+	e := MustNew("influxdb")
+	seedEngine(t, e)
+	out, err := e.Explain("SELECT c1 FROM t0", explain.FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EXPRESSION", "NUMBER OF SERIES", "NUMBER OF SHARDS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("influx text missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Scan") {
+		t.Error("InfluxDB plans must not contain operations")
+	}
+}
+
+func TestEngineExplainStatement(t *testing.T) {
+	e := MustNew("postgresql")
+	seedEngine(t, e)
+	res, err := e.Execute("EXPLAIN SELECT * FROM t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.Columns[0] != "QUERY PLAN" {
+		t.Errorf("EXPLAIN through Execute: %+v", res)
+	}
+	res, err = e.Execute("EXPLAIN (FORMAT JSON) SELECT * FROM t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, row := range res.Rows {
+		joined += row[0].S
+	}
+	if !strings.Contains(joined, `"Node Type"`) {
+		t.Errorf("JSON explain through Execute:\n%s", joined)
+	}
+}
+
+func TestFormatsMatrixMatchesTableIII(t *testing.T) {
+	wantCounts := map[string]int{
+		"influxdb": 1, "mongodb": 2, "mysql": 3, "neo4j": 3, "postgresql": 5,
+		"sqlserver": 4, "sqlite": 1, "sparksql": 2, "tidb": 3,
+	}
+	for name, want := range wantCounts {
+		if got := len(Formats[name]); got != want {
+			t.Errorf("Table III %s: %d formats, want %d", name, got, want)
+		}
+	}
+}
+
+func TestUnsupportedFormatRejected(t *testing.T) {
+	e := MustNew("sqlite")
+	seedEngine(t, e)
+	if _, err := e.Explain("SELECT * FROM t0", explain.FormatJSON); err == nil {
+		t.Error("sqlite must reject JSON format")
+	}
+}

@@ -1,0 +1,494 @@
+package dbms
+
+import (
+	"fmt"
+	"strings"
+
+	"uplan/internal/exec"
+	"uplan/internal/explain"
+	"uplan/internal/planner"
+	"uplan/internal/sql"
+)
+
+// The shapers convert the engine-neutral physical plan into each DBMS's
+// native operator tree, reproducing the representational differences the
+// paper documents: operator vocabularies, implicit vs explicit filter and
+// projection operators, transport operators of distributed engines, and
+// unstable operator identifiers.
+
+// costProps attaches the standard estimate properties.
+func costProps(n *explain.Node, op *planner.PhysOp) *explain.Node {
+	n.Add("startup_cost", round2(op.StartCost)).
+		Add("total_cost", round2(op.TotalCost)).
+		Add("rows", round2(op.EstRows)).
+		Add("width", op.Width)
+	return n
+}
+
+// actuals attaches EXPLAIN ANALYZE data when available.
+func actuals(n *explain.Node, op *planner.PhysOp, stats map[*planner.PhysOp]*exec.OpStats) *explain.Node {
+	if stats == nil {
+		return n
+	}
+	if st := stats[op]; st != nil {
+		n.Add("actual_rows", st.ActualRows)
+		n.Add("actual_time_ms", round3(float64(st.Duration.Microseconds())/1000))
+		n.Add("loops", st.Loops)
+	}
+	return n
+}
+
+func exprSQL(e sql.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.SQL()
+}
+
+func sortKeySQL(keys []sql.OrderItem) string {
+	var parts []string
+	for _, k := range keys {
+		t := k.Expr.SQL()
+		if k.Desc {
+			t += " DESC"
+		}
+		parts = append(parts, t)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func groupKeySQL(keys []sql.Expr) string {
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k.SQL())
+	}
+	return strings.Join(parts, ", ")
+}
+
+func hashCondSQL(op *planner.PhysOp) string {
+	var parts []string
+	for i := range op.HashKeysL {
+		parts = append(parts, "("+op.HashKeysL[i].SQL()+" = "+op.HashKeysR[i].SQL()+")")
+	}
+	if len(parts) == 0 && op.JoinCond != nil {
+		return op.JoinCond.SQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// scanObject renders "table" or "table alias" for scan nodes.
+func scanObject(op *planner.PhysOp) string {
+	if op.Alias != "" && !strings.EqualFold(op.Alias, op.Table) {
+		return op.Table + " " + op.Alias
+	}
+	return op.Table
+}
+
+// appendSubplans shapes any subqueries attached to the operator and adds
+// them as extra children (how PostgreSQL renders SubPlans, and the reason
+// paper Listing 4 shows two aggregation trees for q11).
+func appendSubplans(e *Engine, n *explain.Node, op *planner.PhysOp,
+	stats map[*planner.PhysOp]*exec.OpStats,
+	shape func(op *planner.PhysOp) *explain.Node) {
+	for _, sp := range op.Subplans {
+		n.Children = append(n.Children, shape(sp))
+	}
+}
+
+// -------------------------------------------------------------- PostgreSQL
+
+// pgParallelThreshold is the row estimate beyond which the simulated
+// PostgreSQL plans a parallel scan under a Gather node (scaled to the
+// harness's small populations the way min_parallel_table_scan_size scales
+// to real ones).
+const pgParallelThreshold = 150
+
+func shapePostgres(e *Engine, root *planner.PhysOp, stats map[*planner.PhysOp]*exec.OpStats) *explain.Plan {
+	var shape func(op *planner.PhysOp) *explain.Node
+	shape = func(op *planner.PhysOp) *explain.Node {
+		var n *explain.Node
+		switch op.Kind {
+		case planner.OpSeqScan:
+			if op.EstRows > pgParallelThreshold {
+				scan := explain.NewNode("Parallel Seq Scan")
+				scan.Object = scanObject(op)
+				costProps(scan, op)
+				if op.Filter != nil {
+					scan.Add("Filter", exprSQL(op.Filter))
+				}
+				actuals(scan, op, stats)
+				n = explain.NewNode("Gather", scan)
+				n.Add("Workers Planned", 2)
+				costProps(n, op)
+			} else {
+				n = explain.NewNode("Seq Scan")
+				n.Object = scanObject(op)
+				costProps(n, op)
+				if op.Filter != nil {
+					n.Add("Filter", exprSQL(op.Filter))
+				}
+				actuals(n, op, stats)
+			}
+		case planner.OpIndexScan:
+			if condHasRange(op.IndexCond) {
+				inner := explain.NewNode("Bitmap Index Scan")
+				inner.Object = op.Index
+				inner.Add("Index Cond", exprSQL(op.IndexCond))
+				costProps(inner, op)
+				n = explain.NewNode("Bitmap Heap Scan", inner)
+				n.Object = scanObject(op)
+				n.Add("Recheck Cond", exprSQL(op.IndexCond))
+				if op.Filter != nil {
+					n.Add("Filter", exprSQL(op.Filter))
+				}
+				costProps(n, op)
+				actuals(n, op, stats)
+			} else {
+				n = explain.NewNode("Index Scan")
+				n.Object = scanObject(op)
+				n.Add("Index Name", op.Index)
+				n.Add("Index Cond", exprSQL(op.IndexCond))
+				if op.Filter != nil {
+					n.Add("Filter", exprSQL(op.Filter))
+				}
+				costProps(n, op)
+				actuals(n, op, stats)
+			}
+		case planner.OpIndexOnlyScan:
+			n = explain.NewNode("Index Only Scan")
+			n.Object = scanObject(op)
+			n.Add("Index Name", op.Index)
+			if op.IndexCond != nil {
+				n.Add("Index Cond", exprSQL(op.IndexCond))
+			}
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpValues:
+			n = explain.NewNode("Result")
+			costProps(n, op)
+		case planner.OpFilter:
+			// PostgreSQL renders residual predicates as a property of the
+			// node below, not as a standalone operator.
+			n = shape(op.Children[0])
+			n.Add("Filter", exprSQL(op.Filter))
+			appendSubplans(e, n, op, stats, shape)
+			return n
+		case planner.OpProject:
+			// No explicit projection operator in PostgreSQL plans.
+			n = shape(op.Children[0])
+			appendSubplans(e, n, op, stats, shape)
+			return n
+		case planner.OpNLJoin:
+			// PostgreSQL materializes the rescanned inner side.
+			inner := explain.NewNode("Materialize", shape(op.Children[1]))
+			costProps(inner, op.Children[1])
+			n = explain.NewNode("Nested Loop", shape(op.Children[0]), inner)
+			if op.JoinCond != nil {
+				n.Add("Join Filter", exprSQL(op.JoinCond))
+			}
+			if op.JoinType == sql.JoinLeft {
+				n.Add("Join Type", "Left")
+			}
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpHashJoin:
+			hash := explain.NewNode("Hash", shape(op.Children[1]))
+			costProps(hash, op.Children[1])
+			n = explain.NewNode("Hash Join", shape(op.Children[0]), hash)
+			n.Add("Hash Cond", hashCondSQL(op))
+			if op.JoinType == sql.JoinLeft {
+				n.Add("Join Type", "Left")
+			}
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpMergeJoin:
+			l := explain.NewNode("Sort", shape(op.Children[0]))
+			l.Add("Sort Key", groupKeySQL(op.HashKeysL))
+			costProps(l, op.Children[0])
+			r := explain.NewNode("Sort", shape(op.Children[1]))
+			r.Add("Sort Key", groupKeySQL(op.HashKeysR))
+			costProps(r, op.Children[1])
+			n = explain.NewNode("Merge Join", l, r)
+			n.Add("Merge Cond", hashCondSQL(op))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpHashAgg:
+			name := "Aggregate"
+			if len(op.GroupBy) > 0 {
+				name = "HashAggregate"
+			}
+			n = explain.NewNode(name, shape(op.Children[0]))
+			if len(op.GroupBy) > 0 {
+				n.Add("Group Key", groupKeySQL(op.GroupBy))
+			}
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpSortAgg:
+			s := explain.NewNode("Sort", shape(op.Children[0]))
+			s.Add("Sort Key", groupKeySQL(op.GroupBy))
+			costProps(s, op.Children[0])
+			n = explain.NewNode("GroupAggregate", s)
+			n.Add("Group Key", groupKeySQL(op.GroupBy))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpSort:
+			n = explain.NewNode("Sort", shape(op.Children[0]))
+			n.Add("Sort Key", sortKeySQL(op.SortKeys))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpTopN:
+			s := explain.NewNode("Sort", shape(op.Children[0]))
+			s.Add("Sort Key", sortKeySQL(op.SortKeys))
+			costProps(s, op)
+			n = explain.NewNode("Limit", s)
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpLimit:
+			n = explain.NewNode("Limit", shape(op.Children[0]))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpDistinct:
+			s := explain.NewNode("Sort", shape(op.Children[0]))
+			costProps(s, op.Children[0])
+			n = explain.NewNode("Unique", s)
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpUnionAll:
+			n = explain.NewNode("Append", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpUnion:
+			app := explain.NewNode("Append", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(app, op)
+			srt := explain.NewNode("Sort", app)
+			costProps(srt, op)
+			n = explain.NewNode("Unique", srt)
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpIntersect, planner.OpExcept:
+			app := explain.NewNode("Append", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(app, op)
+			n = explain.NewNode("SetOp", app)
+			cmd := "Intersect"
+			if op.Kind == planner.OpExcept {
+				cmd = "Except"
+			}
+			n.Add("Command", cmd)
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpInsert, planner.OpUpdate, planner.OpDelete:
+			name := map[planner.OpKind]string{
+				planner.OpInsert: "Insert", planner.OpUpdate: "Update", planner.OpDelete: "Delete",
+			}[op.Kind]
+			n = explain.NewNode(name)
+			n.Object = op.Table
+			for _, c := range op.Children {
+				n.Children = append(n.Children, shape(c))
+			}
+			costProps(n, op)
+		default:
+			n = explain.NewNode(string(op.Kind))
+			costProps(n, op)
+		}
+		appendSubplans(e, n, op, stats, shape)
+		return n
+	}
+	p := &explain.Plan{Root: shape(root)}
+	p.PlanProps = append(p.PlanProps, explain.Prop{Key: "Planning Time", Val: fmt.Sprintf("%.3f ms", e.planningTimeMS(root))})
+	if stats != nil {
+		if st := stats[root]; st != nil {
+			p.PlanProps = append(p.PlanProps, explain.Prop{Key: "Execution Time", Val: fmt.Sprintf("%.3f ms", float64(st.Duration.Microseconds())/1000)})
+		}
+	}
+	return p
+}
+
+func condHasRange(cond sql.Expr) bool {
+	for _, c := range planner.SplitConjuncts(cond) {
+		switch t := c.(type) {
+		case *sql.Binary:
+			switch t.Op {
+			case sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+				return true
+			}
+		case *sql.Between:
+			return true
+		case *sql.InList:
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------------------ MySQL
+
+func shapeMySQL(e *Engine, root *planner.PhysOp, stats map[*planner.PhysOp]*exec.OpStats) *explain.Plan {
+	var shape func(op *planner.PhysOp) *explain.Node
+	shape = func(op *planner.PhysOp) *explain.Node {
+		var n *explain.Node
+		switch op.Kind {
+		case planner.OpSeqScan:
+			scan := explain.NewNode("Table scan")
+			scan.Object = op.Alias
+			costProps(scan, op)
+			actuals(scan, op, stats)
+			if op.Filter != nil {
+				n = explain.NewNode("Filter", scan)
+				n.Add("detail", exprSQL(op.Filter))
+				costProps(n, op)
+			} else {
+				n = scan
+			}
+		case planner.OpIndexScan, planner.OpIndexOnlyScan:
+			name := "Index lookup"
+			if condHasRange(op.IndexCond) && !condHasEq(op.IndexCond) {
+				name = "Index range scan"
+			}
+			if op.Kind == planner.OpIndexOnlyScan {
+				name = "Covering index lookup"
+			}
+			scan := explain.NewNode(name)
+			scan.Object = op.Alias
+			scan.Add("key", op.Index)
+			scan.Add("condition", exprSQL(op.IndexCond))
+			costProps(scan, op)
+			actuals(scan, op, stats)
+			if op.Filter != nil {
+				n = explain.NewNode("Filter", scan)
+				n.Add("detail", exprSQL(op.Filter))
+				costProps(n, op)
+			} else {
+				n = scan
+			}
+		case planner.OpValues:
+			n = explain.NewNode("Rows fetched before execution")
+			costProps(n, op)
+		case planner.OpFilter:
+			n = explain.NewNode("Filter", shape(op.Children[0]))
+			n.Add("detail", exprSQL(op.Filter))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpProject:
+			n = shape(op.Children[0])
+			appendSubplans(e, n, op, stats, shape)
+			return n
+		case planner.OpNLJoin:
+			name := "Nested loop inner join"
+			if op.JoinType == sql.JoinLeft {
+				name = "Nested loop left join"
+			}
+			n = explain.NewNode(name, shape(op.Children[0]), shape(op.Children[1]))
+			if op.JoinCond != nil {
+				n.Add("condition", exprSQL(op.JoinCond))
+			}
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpHashJoin, planner.OpMergeJoin:
+			name := "Inner hash join"
+			if op.JoinType == sql.JoinLeft {
+				name = "Left hash join"
+			}
+			n = explain.NewNode(name, shape(op.Children[0]), shape(op.Children[1]))
+			n.Add("condition", hashCondSQL(op))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpHashAgg, planner.OpSortAgg:
+			var name string
+			switch {
+			case len(op.GroupBy) == 0:
+				name = "Aggregate"
+			case op.Kind == planner.OpSortAgg:
+				name = "Group aggregate"
+			default:
+				name = "Aggregate using temporary table"
+			}
+			n = explain.NewNode(name, shape(op.Children[0]))
+			n.Add("detail", aggDetail(op))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpSort, planner.OpTopN:
+			n = explain.NewNode("Sort", shape(op.Children[0]))
+			n.Add("detail", sortKeySQL(op.SortKeys))
+			costProps(n, op)
+			actuals(n, op, stats)
+			if op.Kind == planner.OpTopN {
+				lim := explain.NewNode("Limit", n)
+				lim.Add("detail", fmt.Sprintf("%d row(s)", op.Limit))
+				costProps(lim, op)
+				n = lim
+			}
+		case planner.OpLimit:
+			n = explain.NewNode("Limit", shape(op.Children[0]))
+			n.Add("detail", fmt.Sprintf("%d row(s)", op.Limit))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpDistinct:
+			n = explain.NewNode("Deduplicate", shape(op.Children[0]))
+			costProps(n, op)
+			actuals(n, op, stats)
+		case planner.OpUnionAll:
+			n = explain.NewNode("Union all", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(n, op)
+		case planner.OpUnion:
+			n = explain.NewNode("Union materialize", shape(op.Children[0]), shape(op.Children[1]))
+			n.Add("detail", "with deduplication")
+			costProps(n, op)
+		case planner.OpIntersect:
+			n = explain.NewNode("Intersect materialize", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(n, op)
+		case planner.OpExcept:
+			n = explain.NewNode("Except materialize", shape(op.Children[0]), shape(op.Children[1]))
+			costProps(n, op)
+		case planner.OpInsert, planner.OpUpdate, planner.OpDelete:
+			name := map[planner.OpKind]string{
+				planner.OpInsert: "Insert", planner.OpUpdate: "Update", planner.OpDelete: "Delete",
+			}[op.Kind]
+			n = explain.NewNode(name)
+			n.Object = op.Table
+			for _, c := range op.Children {
+				n.Children = append(n.Children, shape(c))
+			}
+			costProps(n, op)
+		default:
+			n = explain.NewNode(string(op.Kind))
+			costProps(n, op)
+		}
+		appendSubplans(e, n, op, stats, shape)
+		return n
+	}
+	return &explain.Plan{Root: shape(root)}
+}
+
+func condHasEq(cond sql.Expr) bool {
+	for _, c := range planner.SplitConjuncts(cond) {
+		if b, ok := c.(*sql.Binary); ok && b.Op == sql.OpEq {
+			return true
+		}
+		if _, ok := c.(*sql.InList); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func aggDetail(op *planner.PhysOp) string {
+	var parts []string
+	for _, a := range op.Aggs {
+		parts = append(parts, strings.ToLower(a.Name)+"("+aggArg(a)+")")
+	}
+	if len(op.GroupBy) > 0 {
+		parts = append(parts, "group_by: "+groupKeySQL(op.GroupBy))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func aggArg(a *sql.FuncCall) string {
+	if a.Star {
+		return "*"
+	}
+	var parts []string
+	for _, x := range a.Args {
+		parts = append(parts, x.SQL())
+	}
+	return strings.Join(parts, ", ")
+}

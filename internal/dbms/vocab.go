@@ -1,0 +1,407 @@
+package dbms
+
+import "uplan/internal/core"
+
+// Vocabulary is the operation and property name inventory of one DBMS's
+// query plan representation, classified into the paper's categories. The
+// per-category counts reproduce paper Table II; the names are the
+// documented operator/property identifiers of each system (collected, as
+// in the paper, from documentation, source code, and observed plans).
+type Vocabulary struct {
+	Operations map[core.OperationCategory][]string
+	Properties map[core.PropertyCategory][]string
+}
+
+// OperationCount returns the number of operations per category.
+func (v Vocabulary) OperationCount() map[core.OperationCategory]int {
+	out := map[core.OperationCategory]int{}
+	for cat, names := range v.Operations {
+		out[cat] = len(names)
+	}
+	return out
+}
+
+// PropertyCount returns the number of properties per category.
+func (v Vocabulary) PropertyCount() map[core.PropertyCategory]int {
+	out := map[core.PropertyCategory]int{}
+	for cat, names := range v.Properties {
+		out[cat] = len(names)
+	}
+	return out
+}
+
+// OperationTotal sums operation counts across categories.
+func (v Vocabulary) OperationTotal() int {
+	t := 0
+	for _, names := range v.Operations {
+		t += len(names)
+	}
+	return t
+}
+
+// PropertyTotal sums property counts across categories.
+func (v Vocabulary) PropertyTotal() int {
+	t := 0
+	for _, names := range v.Properties {
+		t += len(names)
+	}
+	return t
+}
+
+// Vocabularies maps engine key → vocabulary for all nine studied DBMSs.
+var Vocabularies = map[string]Vocabulary{
+	"influxdb": {
+		// InfluxDB's query plans expose no operations at all (Section III-C).
+		Operations: map[core.OperationCategory][]string{},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {"NUMBER OF SERIES", "NUMBER OF FILES", "NUMBER OF BLOCKS", "SIZE OF BLOCKS", "CACHED VALUES"},
+			core.Status:      {"NUMBER OF SHARDS"},
+		},
+	},
+	"mongodb": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"COLLSCAN", "IXSCAN", "IDHACK", "GEO_NEAR_2D", "GEO_NEAR_2DSPHERE",
+				"TEXT_MATCH", "DISTINCT_SCAN", "COUNT_SCAN", "RECORD_STORE_FAST_COUNT",
+				"MULTI_ITERATOR", "QUEUED_DATA", "SUBPLAN", "EOF", "VIRTUAL_SCAN",
+			},
+			core.Combinator: {
+				"SORT", "SORT_MERGE", "LIMIT", "SKIP", "OR", "AND_HASH",
+				"AND_SORTED", "MERGE_SORT", "DEDUP",
+			},
+			core.Join: {},
+			core.Folder: {
+				"GROUP", "COUNT", "SAMPLE_FROM_RANDOM_CURSOR", "BUCKET_AUTO", "FACET",
+			},
+			core.Projector: {
+				"PROJECTION_DEFAULT", "PROJECTION_SIMPLE", "PROJECTION_COVERED",
+			},
+			core.Executor: {
+				"FETCH", "CACHED_PLAN", "SHARDING_FILTER", "SHARD_MERGE", "ENSURE_SORTED",
+				"SPOOL", "RETURN_KEY", "TRIAL", "EXCHANGE", "BATCHED_DELETE",
+			},
+			core.Consumer: {"UPDATE", "DELETE", "UPSERT"},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {
+				"nReturned", "docsExamined", "keysExamined", "totalDocsExamined",
+				"totalKeysExamined", "nCounted", "nSkipped", "dupsTested", "dupsDropped",
+				"seenInvalidated", "nMatched", "nModified", "nWouldModify", "memLimit",
+				"limitAmount", "skipAmount",
+			},
+			core.Cost: {"works", "advanced", "needTime", "needYield", "saveState"},
+			core.Configuration: {
+				"filter", "indexName", "keyPattern", "indexBounds", "direction",
+				"isMultiKey", "multiKeyPaths", "isUnique", "isSparse", "isPartial",
+				"indexVersion", "transformBy", "namespace", "parsedQuery",
+				"sortPattern", "collation", "projection", "queryHash",
+			},
+			core.Status: {
+				"executionTimeMillis", "executionTimeMillisEstimate", "isEOF",
+				"restoreState", "isCached", "planCacheKey", "executionSuccess",
+				"failed", "serverInfo", "serverParameters", "stage", "shards",
+			},
+		},
+	},
+	"mysql": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"Table scan", "Index scan", "Index lookup", "Index range scan",
+				"Covering index scan", "Covering index lookup", "Covering index range scan",
+				"Single-row index lookup", "Single-row covering index lookup",
+				"Full-text index search", "Index scan over a derived table",
+				"Rows fetched before execution", "Constant row from child",
+				"Index range scan (Multi-Range Read)", "Intersect rows sorted by row ID",
+			},
+			core.Combinator: {"Sort", "Limit", "Deduplicate"},
+			core.Join:       {"Nested loop inner join", "Inner hash join"},
+			core.Folder:     {"Aggregate"},
+			core.Projector:  {},
+			core.Executor:   {"Filter", "Materialize"},
+			core.Consumer:   {},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {"rows_examined_per_scan", "rows_produced_per_join", "filtered"},
+			core.Cost: {
+				"query_cost", "read_cost", "eval_cost", "prefix_cost",
+				"sort_cost", "data_read_per_join",
+			},
+			core.Configuration: {"attached_condition", "key", "used_columns"},
+			core.Status: {
+				"select_id", "table_name", "access_type", "possible_keys", "key_length",
+				"ref", "using_index", "using_filesort", "using_temporary_table", "backward_index_scan",
+			},
+		},
+	},
+	"neo4j": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"AllNodesScan", "NodeByLabelScan", "NodeByIdSeek", "NodeByElementIdSeek",
+				"NodeIndexSeek", "NodeUniqueIndexSeek", "NodeIndexSeekByRange",
+				"NodeIndexScan", "NodeIndexContainsScan", "NodeIndexEndsWithScan",
+				"MultiNodeIndexSeek", "AssertingMultiNodeIndexSeek", "IntersectionNodeByLabelsScan",
+				"UnionNodeByLabelsScan", "SubtractionNodeByLabelsScan", "PartitionedAllNodesScan",
+				"PartitionedNodeByLabelScan", "Argument",
+			},
+			core.Combinator: {
+				"Sort", "PartialSort", "Top", "PartialTop", "Limit", "ExhaustiveLimit",
+				"Skip", "Distinct", "OrderedDistinct", "Union", "OrderedUnion",
+			},
+			core.Join: {
+				"DirectedRelationshipIndexScan", "UndirectedRelationshipIndexScan",
+				"DirectedRelationshipIndexSeek", "UndirectedRelationshipIndexSeek",
+				"DirectedRelationshipIndexContainsScan", "UndirectedRelationshipIndexContainsScan",
+				"DirectedRelationshipIndexEndsWithScan", "UndirectedRelationshipIndexEndsWithScan",
+				"DirectedRelationshipIndexSeekByRange", "UndirectedRelationshipIndexSeekByRange",
+				"DirectedRelationshipTypeScan", "UndirectedRelationshipTypeScan",
+				"DirectedAllRelationshipsScan", "UndirectedAllRelationshipsScan",
+				"DirectedRelationshipByIdSeek", "UndirectedRelationshipByIdSeek",
+				"DirectedRelationshipByElementIdSeek", "UndirectedRelationshipByElementIdSeek",
+				"DirectedUnionRelationshipTypesScan", "UndirectedUnionRelationshipTypesScan",
+				"Expand(All)", "Expand(Into)", "OptionalExpand(All)", "OptionalExpand(Into)",
+				"VarLengthExpand(All)", "VarLengthExpand(Into)", "VarLengthExpand(Pruning)",
+				"BFSPruningVarLengthExpand(All)", "BFSPruningVarLengthExpand(Into)",
+				"ShortestPath", "AllShortestPaths", "StatefulShortestPath(All)",
+				"StatefulShortestPath(Into)", "ProjectEndpoints", "NodeHashJoin",
+				"ValueHashJoin", "LeftOuterHashJoin", "RightOuterHashJoin",
+				"CartesianProduct", "TriadicSelection", "TriadicBuild", "TriadicFilter",
+				"Trail",
+			},
+			core.Folder: {
+				"EagerAggregation", "OrderedAggregation", "NodeCountFromCountStore",
+				"RelationshipCountFromCountStore", "Rollup", "PercentileDisc",
+			},
+			core.Projector: {"ProduceResults", "Projection", "UnwindCollection"},
+			core.Executor: {
+				"Filter", "Apply", "SemiApply", "AntiSemiApply", "SelectOrSemiApply",
+				"SelectOrAntiSemiApply", "LetSemiApply", "LetAntiSemiApply", "RollUpApply",
+				"Optional", "Eager", "CacheProperties", "AssertSameNode", "AssertSameRelationship",
+				"DropResult", "ErrorPlan", "NonFuseable",
+			},
+			core.Consumer: {
+				"Create", "CreateNode", "CreateRelationship", "Delete", "DetachDelete",
+				"SetLabels", "RemoveLabels", "SetNodeProperties", "SetRelationshipProperties",
+				"SetProperty", "SetPropertiesFromMap", "Merge", "Foreach",
+			},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {"EstimatedRows", "Rows", "DbHits"},
+			core.Cost:        {"Memory", "PageCacheHits", "PageCacheMisses"},
+			core.Configuration: {
+				"Details", "Order", "planner", "planner-impl", "planner-version",
+				"runtime", "runtime-impl", "runtime-version", "batch-size",
+				"Index", "LabelName", "RelationshipType",
+			},
+			core.Status: {
+				"Time", "GlobalMemory", "AvailableWorkers", "Started",
+				"TotalDatabaseAccesses", "TotalAllocatedMemory", "version",
+			},
+		},
+	},
+	"postgresql": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"Seq Scan", "Parallel Seq Scan", "Index Scan", "Index Only Scan",
+				"Bitmap Heap Scan", "Bitmap Index Scan", "Tid Scan", "Tid Range Scan",
+				"Subquery Scan", "Function Scan", "Table Function Scan", "Values Scan",
+				"CTE Scan", "Named Tuplestore Scan", "WorkTable Scan", "Foreign Scan",
+				"Sample Scan", "Result",
+			},
+			core.Combinator: {
+				"Sort", "Incremental Sort", "Limit", "Append", "Merge Append",
+				"Unique", "SetOp", "LockRows",
+			},
+			core.Join:      {"Nested Loop", "Hash Join", "Merge Join"},
+			core.Folder:    {"Aggregate", "GroupAggregate", "HashAggregate"},
+			core.Projector: {},
+			core.Executor: {
+				"Hash", "Materialize", "Memoize", "Gather", "Gather Merge",
+				"BitmapAnd", "BitmapOr", "WindowAgg", "Group",
+			},
+			core.Consumer: {"ModifyTable"},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {
+				"Plan Rows", "Plan Width", "Actual Rows", "Actual Loops",
+				"Rows Removed by Filter", "Rows Removed by Index Recheck",
+				"Exact Heap Blocks", "Lossy Heap Blocks",
+			},
+			core.Cost: {
+				"Startup Cost", "Total Cost", "Actual Startup Time", "Actual Total Time",
+				"Shared Hit Blocks", "Shared Read Blocks", "Shared Dirtied Blocks",
+				"Shared Written Blocks", "Local Hit Blocks", "Local Read Blocks",
+				"Local Dirtied Blocks", "Local Written Blocks", "Temp Read Blocks",
+				"Temp Written Blocks", "I/O Read Time", "I/O Write Time", "Peak Memory Usage",
+			},
+			core.Configuration: {
+				"Filter", "Index Cond", "Recheck Cond", "Hash Cond", "Merge Cond",
+				"Join Filter", "Join Type", "Sort Key", "Presorted Key", "Group Key",
+				"Grouping Sets", "Hash Key", "Index Name", "Relation Name", "Schema",
+				"Alias", "Output", "CTE Name", "Subplan Name", "Function Name",
+				"Table Function Name", "Tuplestore Name", "Scan Direction", "Strategy",
+				"Partial Mode", "Parent Relationship", "Parallel Aware", "Async Capable",
+				"Command", "Operation", "Inner Unique", "Single Copy", "Sort Method",
+				"Sort Space Type", "Cache Key", "Cache Mode", "Conflict Resolution",
+				"Conflict Arbiter Indexes", "Repeatable Seed", "Sampling Method",
+				"Sampling Parameters", "Workers Planned",
+			},
+			core.Status: {
+				"Planning Time", "Execution Time", "Workers Launched", "Workers",
+				"Sort Space Used", "Hash Buckets", "Original Hash Buckets", "Hash Batches",
+				"Original Hash Batches", "Heap Fetches", "WAL Records", "WAL FPI",
+				"WAL Bytes", "Triggers", "Trigger Name", "Trigger Time", "Trigger Calls",
+				"JIT", "JIT Functions", "JIT Options", "JIT Timing", "JIT Generation",
+				"JIT Inlining", "JIT Optimization", "JIT Emission", "Planning Buffers",
+				"Full-sort Groups", "Pre-sorted Groups", "Sort Methods Used",
+				"Sort Space Memory", "Average Sort Space Used", "Peak Sort Space Used",
+				"Disk Usage", "HashAgg Batches", "Memory Usage", "Buffers Hit",
+				"Buffers Read", "Cache Hits", "Cache Misses", "Cache Evictions",
+			},
+		},
+	},
+	"sqlserver": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"Table Scan", "Clustered Index Scan", "Clustered Index Seek", "Index Scan",
+				"Index Seek", "Key Lookup", "RID Lookup", "Columnstore Index Scan",
+				"Remote Scan", "Remote Index Scan", "Remote Index Seek", "Constant Scan",
+				"Table-valued Function", "Deleted Scan", "Inserted Scan",
+			},
+			core.Combinator: {"Sort", "Top", "Concatenation"},
+			core.Join:       {"Nested Loops", "Hash Match", "Merge Join"},
+			core.Folder:     {"Stream Aggregate", "Hash Match Aggregate", "Window Aggregate"},
+			core.Projector:  {},
+			core.Executor: {
+				"Compute Scalar", "Filter", "Parallelism", "Table Spool", "Index Spool",
+				"Row Count Spool", "Window Spool", "Segment", "Sequence Project",
+				"Assert", "Bitmap", "Merge Interval", "Split", "Collapse",
+				"Compute Sequence", "Adaptive Join",
+			},
+			core.Consumer: {
+				"Table Insert", "Table Update", "Table Delete", "Table Merge",
+				"Clustered Index Insert", "Clustered Index Update", "Clustered Index Delete",
+				"Clustered Index Merge", "Index Insert", "Index Update", "Index Delete",
+				"Insert", "Update", "Delete", "Merge", "Assign", "Declare",
+				"Sequence", "SELECT INTO",
+			},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {"EstimateRows", "EstimatedRowsRead", "ActualRows", "TableCardinality"},
+			core.Cost:        {"EstimateIO", "EstimateCPU", "EstimatedTotalSubtreeCost", "EstimateRebinds"},
+			core.Configuration: {
+				"Predicate", "SeekPredicates", "OutputList", "OrderBy", "GroupBy",
+				"Object", "DefinedValues",
+			},
+			core.Status: {"ActualExecutions", "ActualElapsedms", "DegreeOfParallelism"},
+		},
+	},
+	"sqlite": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {"SCAN", "SEARCH", "SCAN CONSTANT ROW"},
+			core.Combinator: {
+				"COMPOUND QUERY", "UNION", "UNION ALL", "INTERSECT", "EXCEPT", "MERGE",
+			},
+			core.Join:      {"LEFT-MOST SUBQUERY", "RIGHT PART OF", "BLOOM FILTER ON"},
+			core.Folder:    {},
+			core.Projector: {},
+			core.Executor: {
+				"USE TEMP B-TREE FOR GROUP BY", "USE TEMP B-TREE FOR ORDER BY",
+				"USE TEMP B-TREE FOR DISTINCT", "MATERIALIZE", "CO-ROUTINE",
+			},
+			core.Consumer: {},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Configuration: {"USING INDEX", "USING COVERING INDEX", "USING INTEGER PRIMARY KEY"},
+		},
+	},
+	"sparksql": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"FileScan", "Scan ExistingRDD", "LocalTableScan", "Scan OneRowRelation",
+				"BatchScan", "RowDataSourceScan", "InMemoryTableScan",
+			},
+			core.Combinator: {"Union"},
+			core.Join:       {"SortMergeJoin", "BroadcastHashJoin"},
+			core.Folder: {
+				"HashAggregate", "SortAggregate", "ObjectHashAggregate",
+				"Window", "WindowGroupLimit", "Expand",
+			},
+			core.Projector: {},
+			core.Executor: {
+				"Filter", "Project", "Sort", "Exchange", "BroadcastExchange",
+				"AQEShuffleRead", "ShuffleQueryStage", "BroadcastQueryStage",
+				"WholeStageCodegen", "AdaptiveSparkPlan", "InputAdapter", "ColumnarToRow",
+				"RowToColumnar", "TakeOrderedAndProject", "GlobalLimit", "LocalLimit",
+				"CollectLimit", "Coalesce", "Repartition", "RebalancePartitions",
+				"CartesianProduct", "BroadcastNestedLoopJoin", "ShuffledHashJoin",
+				"SubqueryBroadcast", "ReusedExchange", "ReusedSubquery", "Generate",
+				"MapElements", "MapPartitions", "MapGroups", "FlatMapGroupsInPandas",
+				"FlatMapGroupsWithState", "AppendColumns", "DeserializeToObject",
+				"SerializeFromObject", "EvalPython", "ArrowEvalPython", "BatchEvalPython",
+				"PythonMapInArrow", "MapInPandas", "Sample", "Range", "EventTimeWatermark",
+			},
+			core.Consumer: {
+				"Execute InsertIntoHadoopFsRelationCommand", "Execute CreateViewCommand",
+				"Execute DropTableCommand", "Execute CreateTableCommand",
+				"Execute AlterTableCommand", "Execute TruncateTableCommand",
+				"Execute RepairTableCommand", "Execute AnalyzeTableCommand",
+				"Execute AnalyzeColumnCommand", "Execute SetCommand",
+				"Execute ResetCommand", "Execute AddJarsCommand",
+				"Execute CacheTableCommand", "Execute UncacheTableCommand",
+				"Execute ClearCacheCommand", "Execute DescribeTableCommand",
+				"Execute ShowTablesCommand", "SetCatalogAndNamespace",
+			},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {
+				"rowCount", "sizeInBytes", "numFiles", "numPartitions", "numOutputRows",
+				"dataSize", "numRows", "estimatedSize", "limit", "offset", "fetchSize",
+			},
+			core.Cost: {
+				"spillSize", "shuffleBytesWritten", "shuffleRecordsWritten",
+				"fetchWaitTime", "localBlocksRead", "remoteBlocksRead", "localBytesRead",
+				"remoteBytesRead", "peakMemory", "sortTime", "aggTime",
+			},
+			core.Configuration: {},
+			core.Status:        {},
+		},
+	},
+	"tidb": {
+		Operations: map[core.OperationCategory][]string{
+			core.Producer: {
+				"TableFullScan", "TableRangeScan", "TableRowIDScan", "IndexFullScan",
+				"IndexRangeScan", "PointGet", "BatchPointGet", "TableDual", "TableSample",
+				"MemTableScan", "IndexMergeReader", "CTEFullScan", "ForeignKeyCheck",
+				"LoadData", "IndexLookUpReader", "Import", "DataSource", "ShowDDLJobs",
+				"Show",
+			},
+			core.Combinator: {"Sort", "TopN", "Limit", "Union", "PartitionUnion", "HashDistinct"},
+			core.Join: {
+				"HashJoin", "MergeJoin", "IndexJoin", "IndexHashJoin",
+				"IndexMergeJoin", "Apply", "CTETable",
+			},
+			core.Folder:    {"HashAgg", "StreamAgg", "WindowFunc", "Expand", "Grouping"},
+			core.Projector: {"Projection"},
+			core.Executor: {
+				"TableReader", "IndexReader", "IndexLookUp", "IndexMerge", "Selection",
+				"ExchangeSender", "ExchangeReceiver", "Shuffle", "ShuffleReceiver",
+				"MaxOneRow", "UnionScan", "Cache", "CTE",
+			},
+			core.Consumer: {"Insert", "Update", "Delete", "Replace", "SelectLock"},
+		},
+		Properties: map[core.PropertyCategory][]string{
+			core.Cardinality: {"estRows", "actRows"},
+			core.Cost:        {"estCost", "costFormula", "memory", "disk", "cost_time"},
+			core.Configuration: {
+				"access object", "operator info", "partition", "index",
+			},
+			core.Status: {"task"},
+		},
+	},
+}
+
+// VocabularyFor returns the vocabulary of an engine key.
+func VocabularyFor(name string) (Vocabulary, bool) {
+	v, ok := Vocabularies[name]
+	return v, ok
+}

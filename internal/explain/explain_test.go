@@ -1,0 +1,134 @@
+package explain
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func samplePlan(dialect string) *Plan {
+	scan := NewNode("Seq Scan")
+	scan.Object = "t0"
+	scan.Add("startup_cost", 0.0).Add("total_cost", 35.5).
+		Add("rows", 2550.0).Add("width", 4)
+	scan.Add("Filter", "(c0 < 100)")
+	root := NewNode("Sort", scan)
+	root.Add("startup_cost", 100.0).Add("total_cost", 101.0).
+		Add("rows", 99.0).Add("width", 4)
+	root.Add("Sort Key", "c0")
+	p := &Plan{Dialect: dialect, Root: root}
+	p.PlanProps = append(p.PlanProps, Prop{Key: "Planning Time", Val: "0.1 ms"})
+	return p
+}
+
+func TestPostgresTextLayout(t *testing.T) {
+	out := PostgresText(samplePlan("postgresql"))
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "Sort  (cost=100.00..101.00 rows=99 width=4)") {
+		t.Errorf("root line: %q", lines[0])
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "  ->  Seq Scan on t0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("child arrow missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Planning Time: 0.1 ms") {
+		t.Error("plan prop missing")
+	}
+}
+
+func TestPostgresJSONIsValid(t *testing.T) {
+	out, err := PostgresJSON(samplePlan("postgresql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc []map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	plan := doc[0]["Plan"].(map[string]any)
+	if plan["Node Type"] != "Sort" {
+		t.Errorf("node type: %v", plan["Node Type"])
+	}
+}
+
+func TestPostgresXMLWellFormed(t *testing.T) {
+	out := PostgresXML(samplePlan("postgresql"))
+	var anyDoc struct{}
+	if err := xml.Unmarshal([]byte(out), &anyDoc); err != nil {
+		t.Fatalf("malformed XML: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "<Node-Type>Sort</Node-Type>") {
+		t.Error("node type element missing")
+	}
+}
+
+func TestSQLServerXMLWellFormed(t *testing.T) {
+	p := samplePlan("sqlserver")
+	p.Root.Name = "Sort"
+	p.Root.Children[0].Name = "Table Scan"
+	out := SQLServerXML(p)
+	var anyDoc struct{}
+	if err := xml.Unmarshal([]byte(out), &anyDoc); err != nil {
+		t.Fatalf("malformed XML: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `PhysicalOp="Table Scan"`) {
+		t.Error("physical op missing")
+	}
+}
+
+func TestSerializeDispatch(t *testing.T) {
+	p := samplePlan("postgresql")
+	for _, f := range []Format{FormatText, FormatJSON, FormatXML, FormatYAML, FormatGraph} {
+		out, err := Serialize(p, f)
+		if err != nil || out == "" {
+			t.Errorf("postgres %s: %v", f, err)
+		}
+	}
+	if _, err := Serialize(p, FormatTable); err == nil {
+		t.Error("postgres TABLE must be rejected (not in Table III)")
+	}
+	bad := &Plan{Dialect: "nosuch"}
+	if _, err := Serialize(bad, FormatText); err == nil {
+		t.Error("unknown dialect must fail")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := DOT(samplePlan("postgresql"))
+	if !strings.Contains(out, "digraph plan") || !strings.Contains(out, "n0 -> n1") {
+		t.Errorf("DOT malformed:\n%s", out)
+	}
+}
+
+func TestFormatVal(t *testing.T) {
+	cases := map[string]any{
+		"42":   42,
+		"1.50": 1.5,
+		"3":    3.0,
+		"true": true,
+		"x":    "x",
+		"":     nil,
+		"9":    int64(9),
+	}
+	for want, in := range cases {
+		if got := FormatVal(in); got != want {
+			t.Errorf("FormatVal(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNodePropLookup(t *testing.T) {
+	n := NewNode("X").Add("a", 1)
+	if v, ok := n.Prop("a"); !ok || v != 1 {
+		t.Error("Prop lookup broken")
+	}
+	if _, ok := n.Prop("zz"); ok {
+		t.Error("missing prop reported")
+	}
+}

@@ -1,0 +1,223 @@
+// Package explain models DBMS-native query plans and serializes them into
+// each engine's documented wire formats (paper Table III): PostgreSQL
+// text/JSON/XML/YAML, MySQL TREE/JSON/TABLE, TiDB table/JSON, SQLite
+// EXPLAIN QUERY PLAN text, MongoDB explain JSON, Neo4j plan table,
+// SparkSQL physical-plan text, SQL Server showplan XML, and InfluxDB's
+// property list. The serialized output is what UPlan's converters
+// (internal/convert) parse — exactly the interface the paper's UPlan
+// library consumes from real systems.
+package explain
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prop is one native property: a key and a scalar value.
+type Prop struct {
+	Key string
+	Val any // string, float64, int, int64 or bool
+}
+
+// Node is one operator of a native plan.
+type Node struct {
+	// Name is the dialect operator name, e.g. "Seq Scan" or "TableFullScan_5".
+	Name string
+	// Object is the accessed table/index/collection, when applicable.
+	Object string
+	Props  []Prop
+	// Task is the TiDB-style task placement ("root", "cop[tikv]").
+	Task     string
+	Children []*Node
+}
+
+// Plan is a full native plan with plan-level properties.
+type Plan struct {
+	Dialect   string
+	Root      *Node
+	PlanProps []Prop
+}
+
+// NewNode constructs a native node.
+func NewNode(name string, children ...*Node) *Node {
+	return &Node{Name: name, Children: children}
+}
+
+// Add appends a property and returns the node for chaining.
+func (n *Node) Add(key string, val any) *Node {
+	n.Props = append(n.Props, Prop{Key: key, Val: val})
+	return n
+}
+
+// Prop returns the value of the named property and whether it exists.
+func (n *Node) Prop(key string) (any, bool) {
+	for _, p := range n.Props {
+		if p.Key == key {
+			return p.Val, true
+		}
+	}
+	return nil, false
+}
+
+// Walk visits all nodes in pre-order.
+func (p *Plan) Walk(fn func(n *Node, depth int)) {
+	var walk func(n *Node, d int)
+	walk = func(n *Node, d int) {
+		if n == nil {
+			return
+		}
+		fn(n, d)
+		for _, c := range n.Children {
+			walk(c, d+1)
+		}
+	}
+	walk(p.Root, 0)
+}
+
+// FormatVal renders a property value for textual formats.
+func FormatVal(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case bool:
+		return strconv.FormatBool(t)
+	case int:
+		return strconv.Itoa(t)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case float64:
+		if t == float64(int64(t)) && t < 1e15 && t > -1e15 {
+			return strconv.FormatInt(int64(t), 10)
+		}
+		return strconv.FormatFloat(t, 'f', 2, 64)
+	case nil:
+		return ""
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+// Format identifies a serialization format.
+type Format string
+
+// The serialization formats of the studied DBMSs.
+const (
+	FormatText  Format = "TEXT"
+	FormatTable Format = "TABLE"
+	FormatJSON  Format = "JSON"
+	FormatXML   Format = "XML"
+	FormatYAML  Format = "YAML"
+	FormatGraph Format = "GRAPH" // DOT output, standing in for IDE graphs
+)
+
+// Serialize renders the plan in the requested format using the dialect's
+// conventions. It fails for formats the dialect does not support.
+func Serialize(p *Plan, f Format) (string, error) {
+	switch p.Dialect {
+	case "postgresql":
+		switch f {
+		case FormatText:
+			return PostgresText(p), nil
+		case FormatJSON:
+			return PostgresJSON(p)
+		case FormatXML:
+			return PostgresXML(p), nil
+		case FormatYAML:
+			return PostgresYAML(p), nil
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "mysql":
+		switch f {
+		case FormatText:
+			return MySQLTree(p), nil
+		case FormatJSON:
+			return MySQLJSON(p)
+		case FormatTable:
+			return MySQLTable(p), nil
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "tidb":
+		switch f {
+		case FormatTable, FormatText:
+			return TiDBTable(p), nil
+		case FormatJSON:
+			return TiDBJSON(p)
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "sqlite":
+		if f == FormatText {
+			return SQLiteText(p), nil
+		}
+	case "mongodb":
+		switch f {
+		case FormatJSON:
+			return MongoJSON(p)
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "neo4j":
+		switch f {
+		case FormatText, FormatTable:
+			return Neo4jTable(p), nil
+		case FormatJSON:
+			return Neo4jJSON(p)
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "sparksql":
+		switch f {
+		case FormatText:
+			return SparkText(p), nil
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "sqlserver":
+		switch f {
+		case FormatXML:
+			return SQLServerXML(p), nil
+		case FormatText:
+			return SQLServerText(p), nil
+		case FormatTable:
+			return SQLServerTable(p), nil
+		case FormatGraph:
+			return DOT(p), nil
+		}
+	case "influxdb":
+		if f == FormatText {
+			return InfluxText(p), nil
+		}
+	}
+	return "", fmt.Errorf("explain: dialect %q does not support format %s", p.Dialect, f)
+}
+
+// DOT renders any native plan as a Graphviz digraph; it stands in for the
+// graph formats of the engines' IDEs (MySQL Workbench, MongoDB Compass, …).
+func DOT(p *Plan) string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  node [shape=box];\n")
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		my := id
+		id++
+		label := n.Name
+		if n.Object != "" {
+			label += "\\n" + n.Object
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", my, label)
+		for _, c := range n.Children {
+			ci := walk(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, ci)
+		}
+		return my
+	}
+	if p.Root != nil {
+		walk(p.Root)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

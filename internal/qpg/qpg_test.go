@@ -1,0 +1,82 @@
+package qpg
+
+import (
+	"testing"
+
+	"uplan/internal/dbms"
+)
+
+func TestCampaignPlanGuidance(t *testing.T) {
+	e := dbms.MustNew("postgresql")
+	opts := DefaultOptions()
+	opts.Queries = 120
+	opts.Seed = 4
+	c, err := New(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	findings := c.Run(opts)
+	if len(findings) != 0 {
+		t.Errorf("pristine engine produced findings: %v", findings)
+	}
+	if c.Plans.Size() < 5 {
+		t.Errorf("plan coverage too low: %d distinct plans", c.Plans.Size())
+	}
+	if c.Mutations == 0 {
+		t.Error("coverage stall never triggered a mutation — the QPG feedback loop is dead")
+	}
+}
+
+func TestCampaignFindsInjectedDefect(t *testing.T) {
+	e := dbms.MustNew("mysql")
+	e.Quirks.LeftJoinAsInner = true
+	opts := DefaultOptions()
+	opts.Queries = 200
+	opts.Seed = 2
+	opts.MaxFindings = 1
+	c, err := New(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(2, 12); err != nil {
+		t.Fatal(err)
+	}
+	findings := c.Run(opts)
+	if len(findings) == 0 {
+		t.Fatal("LEFT JOIN defect not found")
+	}
+	if findings[0].Kind != KindLogic {
+		t.Errorf("finding kind = %v", findings[0].Kind)
+	}
+	if findings[0].String() == "" {
+		t.Error("finding must render")
+	}
+}
+
+func TestFindingsDeduplicated(t *testing.T) {
+	e := dbms.MustNew("tidb")
+	e.Quirks.DistinctDropsNulls = true
+	opts := DefaultOptions()
+	opts.Queries = 250
+	opts.Seed = 6
+	opts.MaxFindings = 50
+	c, err := New(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(2, 12); err != nil {
+		t.Fatal(err)
+	}
+	findings := c.Run(opts)
+	seen := map[string]bool{}
+	for _, f := range findings {
+		key := string(f.Kind) + "|" + f.Detail
+		if seen[key] {
+			t.Fatalf("duplicate finding: %v", f)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,656 @@
+package sql
+
+import (
+	"strings"
+
+	"uplan/internal/datum"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmtNode()
+	// SQL renders the statement back to SQL text.
+	SQL() string
+}
+
+// Expr is any SQL expression.
+type Expr interface {
+	exprNode()
+	// SQL renders the expression back to SQL text.
+	SQL() string
+}
+
+// ---------------------------------------------------------------- expressions
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val datum.D
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp string
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = "+"
+	OpSub BinaryOp = "-"
+	OpMul BinaryOp = "*"
+	OpDiv BinaryOp = "/"
+	OpMod BinaryOp = "%"
+	OpEq  BinaryOp = "="
+	OpNe  BinaryOp = "<>"
+	OpLt  BinaryOp = "<"
+	OpLe  BinaryOp = "<="
+	OpGt  BinaryOp = ">"
+	OpGe  BinaryOp = ">="
+	OpAnd BinaryOp = "AND"
+	OpOr  BinaryOp = "OR"
+	OpCat BinaryOp = "||"
+)
+
+// Binary applies a binary operator to two operands.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// Unary applies NOT or arithmetic negation.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// IsNull tests X IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+// InList tests X [NOT] IN (e1, e2, …).
+type InList struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+}
+
+// InSubquery tests X [NOT] IN (SELECT …).
+type InSubquery struct {
+	X   Expr
+	Sub *Select
+	Neg bool
+}
+
+// Exists tests [NOT] EXISTS (SELECT …).
+type Exists struct {
+	Sub *Select
+	Neg bool
+}
+
+// Between tests X [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Neg       bool
+}
+
+// Like tests X [NOT] LIKE pattern (with % and _ wildcards).
+type Like struct {
+	X, Pattern Expr
+	Neg        bool
+}
+
+// When is one CASE arm.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE [operand] WHEN … THEN … [ELSE …] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr // nil if absent
+}
+
+// FuncCall is a function application; aggregates are recognized by name.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Distinct bool
+	Star     bool // COUNT(*)
+}
+
+// ScalarSubquery is a subquery used as a scalar value.
+type ScalarSubquery struct {
+	Sub *Select
+}
+
+// Star is "*" or "t.*" in a select list.
+type Star struct {
+	Table string // optional qualifier
+}
+
+func (*ColumnRef) exprNode()      {}
+func (*Literal) exprNode()        {}
+func (*Binary) exprNode()         {}
+func (*Unary) exprNode()          {}
+func (*IsNull) exprNode()         {}
+func (*InList) exprNode()         {}
+func (*InSubquery) exprNode()     {}
+func (*Exists) exprNode()         {}
+func (*Between) exprNode()        {}
+func (*Like) exprNode()           {}
+func (*Case) exprNode()           {}
+func (*FuncCall) exprNode()       {}
+func (*ScalarSubquery) exprNode() {}
+func (*Star) exprNode()           {}
+
+// AggregateFuncs lists the aggregate function names the engine understands.
+var AggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncCall) IsAggregate() bool { return AggregateFuncs[f.Name] }
+
+// ----------------------------------------------------------------- statements
+
+// ColumnDef defines one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       string // INT, FLOAT, TEXT, BOOL (normalized)
+	PrimaryKey bool
+	NotNull    bool
+}
+
+// CreateTable is CREATE TABLE name (cols…).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols…).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// Insert is INSERT INTO table [(cols…)] VALUES (…), (…).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Update is UPDATE table SET col=expr, … [WHERE …].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one col=expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM table [WHERE …].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// SelectItem is one output expression with optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// JoinType enumerates join kinds.
+type JoinType string
+
+// Join kinds.
+const (
+	JoinInner JoinType = "INNER"
+	JoinLeft  JoinType = "LEFT"
+	JoinCross JoinType = "CROSS"
+)
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	tableRefNode()
+	// SQL renders the table reference.
+	SQL() string
+}
+
+// BaseTable references a stored table, optionally aliased.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef references a derived table (SELECT …) AS alias.
+type SubqueryRef struct {
+	Sub   *Select
+	Alias string
+}
+
+// JoinRef joins two table references.
+type JoinRef struct {
+	Type  JoinType
+	Left  TableRef
+	Right TableRef
+	On    Expr // nil for CROSS
+}
+
+func (*BaseTable) tableRefNode()   {}
+func (*SubqueryRef) tableRefNode() {}
+func (*JoinRef) tableRefNode()     {}
+
+// SelectCore is one SELECT … FROM … block without set operations or
+// ordering.
+type SelectCore struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef // nil for FROM-less SELECT
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+}
+
+// CompoundOp enumerates set operations.
+type CompoundOp string
+
+// Set operations.
+const (
+	UnionOp     CompoundOp = "UNION"
+	UnionAllOp  CompoundOp = "UNION ALL"
+	IntersectOp CompoundOp = "INTERSECT"
+	ExceptOp    CompoundOp = "EXCEPT"
+)
+
+// Compound combines two selects with a set operation.
+type Compound struct {
+	Op    CompoundOp
+	Left  *Select
+	Right *Select
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a full query: either a core or a compound, plus ordering and
+// limits.
+type Select struct {
+	Core     *SelectCore // exactly one of Core/Compound is set
+	Compound *Compound
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent
+	Offset   Expr // nil if absent
+}
+
+// Explain wraps a statement for plan inspection.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+	Format  string // "", "TEXT", "JSON", …
+}
+
+func (*CreateTable) stmtNode() {}
+func (*CreateIndex) stmtNode() {}
+func (*Insert) stmtNode()      {}
+func (*Update) stmtNode()      {}
+func (*Delete) stmtNode()      {}
+func (*Select) stmtNode()      {}
+func (*Explain) stmtNode()     {}
+
+// ------------------------------------------------------------------- printing
+
+func (e *ColumnRef) SQL() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e *Literal) SQL() string { return e.Val.String() }
+
+func (e *Binary) SQL() string {
+	return "(" + e.L.SQL() + " " + string(e.Op) + " " + e.R.SQL() + ")"
+}
+
+func (e *Unary) SQL() string {
+	if e.Op == "NOT" {
+		return "(NOT " + e.X.SQL() + ")"
+	}
+	return "(" + e.Op + e.X.SQL() + ")"
+}
+
+func (e *IsNull) SQL() string {
+	if e.Neg {
+		return "(" + e.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.X.SQL() + " IS NULL)"
+}
+
+func (e *InList) SQL() string {
+	var parts []string
+	for _, x := range e.List {
+		parts = append(parts, x.SQL())
+	}
+	op := " IN ("
+	if e.Neg {
+		op = " NOT IN ("
+	}
+	return "(" + e.X.SQL() + op + strings.Join(parts, ", ") + "))"
+}
+
+func (e *InSubquery) SQL() string {
+	op := " IN ("
+	if e.Neg {
+		op = " NOT IN ("
+	}
+	return "(" + e.X.SQL() + op + e.Sub.SQL() + "))"
+}
+
+func (e *Exists) SQL() string {
+	if e.Neg {
+		return "(NOT EXISTS (" + e.Sub.SQL() + "))"
+	}
+	return "(EXISTS (" + e.Sub.SQL() + "))"
+}
+
+func (e *Between) SQL() string {
+	op := " BETWEEN "
+	if e.Neg {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.X.SQL() + op + e.Lo.SQL() + " AND " + e.Hi.SQL() + ")"
+}
+
+func (e *Like) SQL() string {
+	op := " LIKE "
+	if e.Neg {
+		op = " NOT LIKE "
+	}
+	return "(" + e.X.SQL() + op + e.Pattern.SQL() + ")"
+}
+
+func (e *Case) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if e.Operand != nil {
+		b.WriteString(" " + e.Operand.SQL())
+	}
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.Cond.SQL() + " THEN " + w.Then.SQL())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *FuncCall) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	var parts []string
+	for _, a := range e.Args {
+		parts = append(parts, a.SQL())
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+func (e *ScalarSubquery) SQL() string { return "(" + e.Sub.SQL() + ")" }
+
+func (e *Star) SQL() string {
+	if e.Table != "" {
+		return e.Table + ".*"
+	}
+	return "*"
+}
+
+func (t *BaseTable) SQL() string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+func (t *SubqueryRef) SQL() string {
+	return "(" + t.Sub.SQL() + ") AS " + t.Alias
+}
+
+func (t *JoinRef) SQL() string {
+	switch t.Type {
+	case JoinCross:
+		return t.Left.SQL() + " CROSS JOIN " + t.Right.SQL()
+	case JoinLeft:
+		return t.Left.SQL() + " LEFT JOIN " + t.Right.SQL() + " ON " + t.On.SQL()
+	default:
+		return t.Left.SQL() + " INNER JOIN " + t.Right.SQL() + " ON " + t.On.SQL()
+	}
+}
+
+func (s *SelectCore) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	var items []string
+	for _, it := range s.Items {
+		t := it.Expr.SQL()
+		if it.Alias != "" {
+			t += " AS " + it.Alias
+		}
+		items = append(items, t)
+	}
+	b.WriteString(strings.Join(items, ", "))
+	if s.From != nil {
+		b.WriteString(" FROM " + s.From.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		var keys []string
+		for _, g := range s.GroupBy {
+			keys = append(keys, g.SQL())
+		}
+		b.WriteString(" GROUP BY " + strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	return b.String()
+}
+
+func (s *Select) SQL() string {
+	var b strings.Builder
+	if s.Core != nil {
+		b.WriteString(s.Core.SQL())
+	} else {
+		b.WriteString(s.Compound.Left.SQL())
+		b.WriteString(" " + string(s.Compound.Op) + " ")
+		b.WriteString(s.Compound.Right.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		var keys []string
+		for _, o := range s.OrderBy {
+			t := o.Expr.SQL()
+			if o.Desc {
+				t += " DESC"
+			}
+			keys = append(keys, t)
+		}
+		b.WriteString(" ORDER BY " + strings.Join(keys, ", "))
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT " + s.Limit.SQL())
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET " + s.Offset.SQL())
+	}
+	return b.String()
+}
+
+func (s *CreateTable) SQL() string {
+	var cols []string
+	for _, c := range s.Columns {
+		t := c.Name + " " + c.Type
+		if c.PrimaryKey {
+			t += " PRIMARY KEY"
+		} else if c.NotNull {
+			t += " NOT NULL"
+		}
+		cols = append(cols, t)
+	}
+	return "CREATE TABLE " + s.Name + " (" + strings.Join(cols, ", ") + ")"
+}
+
+func (s *CreateIndex) SQL() string {
+	u := ""
+	if s.Unique {
+		u = "UNIQUE "
+	}
+	return "CREATE " + u + "INDEX " + s.Name + " ON " + s.Table +
+		" (" + strings.Join(s.Columns, ", ") + ")"
+}
+
+func (s *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	var rows []string
+	for _, r := range s.Rows {
+		var vals []string
+		for _, v := range r {
+			vals = append(vals, v.SQL())
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	b.WriteString(strings.Join(rows, ", "))
+	return b.String()
+}
+
+func (s *Update) SQL() string {
+	var sets []string
+	for _, sc := range s.Sets {
+		sets = append(sets, sc.Column+" = "+sc.Value.SQL())
+	}
+	out := "UPDATE " + s.Table + " SET " + strings.Join(sets, ", ")
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+func (s *Delete) SQL() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+func (s *Explain) SQL() string {
+	out := "EXPLAIN "
+	if s.Analyze {
+		out += "ANALYZE "
+	}
+	if s.Format != "" {
+		out += "(FORMAT " + s.Format + ") "
+	}
+	return out + s.Stmt.SQL()
+}
+
+// WalkExpr visits e and all sub-expressions in pre-order; fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch t := e.(type) {
+	case *Binary:
+		WalkExpr(t.L, fn)
+		WalkExpr(t.R, fn)
+	case *Unary:
+		WalkExpr(t.X, fn)
+	case *IsNull:
+		WalkExpr(t.X, fn)
+	case *InList:
+		WalkExpr(t.X, fn)
+		for _, x := range t.List {
+			WalkExpr(x, fn)
+		}
+	case *InSubquery:
+		WalkExpr(t.X, fn)
+	case *Between:
+		WalkExpr(t.X, fn)
+		WalkExpr(t.Lo, fn)
+		WalkExpr(t.Hi, fn)
+	case *Like:
+		WalkExpr(t.X, fn)
+		WalkExpr(t.Pattern, fn)
+	case *Case:
+		WalkExpr(t.Operand, fn)
+		for _, w := range t.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(t.Else, fn)
+	case *FuncCall:
+		for _, a := range t.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// ContainsAggregate reports whether the expression contains an aggregate
+// function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsAggregate() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ContainsSubquery reports whether the expression contains any subquery.
+func ContainsSubquery(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ScalarSubquery, *InSubquery, *Exists:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,161 @@
+// Package sql implements the SQL dialect shared by the simulated engines:
+// a lexer, parser, and AST with printing for the subset needed by the
+// paper's workloads (TPC-H adaptations, SQLancer-style generated queries,
+// and the DDL/DML used by QPG database mutation).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind discriminates lexical token types.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TEOF TokenKind = iota
+	TIdent
+	TKeyword
+	TInt
+	TFloat
+	TString
+	TSymbol // operators and punctuation
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "ALL": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "UNION": true, "INTERSECT": true,
+	"EXCEPT": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"IS": true, "NULL": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"TRUE": true, "FALSE": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "UNIQUE": true, "PRIMARY": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "INT": true, "INTEGER": true,
+	"FLOAT": true, "REAL": true, "TEXT": true, "VARCHAR": true,
+	"BOOL": true, "BOOLEAN": true, "DECIMAL": true, "DATE": true,
+	"EXPLAIN": true, "ANALYZE": true, "FORMAT": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			isFloat := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !isFloat {
+					isFloat = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && i+1 < n {
+					next := input[i+1]
+					if next >= '0' && next <= '9' || next == '+' || next == '-' {
+						isFloat = true
+						i += 2
+						continue
+					}
+				}
+				break
+			}
+			kind := TInt
+			if isFloat {
+				kind = TFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				toks = append(toks, Token{Kind: TSymbol, Text: two, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+				toks = append(toks, Token{Kind: TSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, start)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Pos: n})
+	return toks, nil
+}

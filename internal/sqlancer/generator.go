@@ -1,0 +1,332 @@
+// Package sqlancer generates random databases, queries, and database
+// mutations in the style of the SQLancer testing tool the paper builds on:
+// typed schemas, value generators covering SQL's edge cases (NULLs,
+// negative numbers, float/int boundaries), and a predicate grammar rich
+// enough to exercise index probes, three-valued logic, and joins.
+package sqlancer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Column is a generated column.
+type Column struct {
+	Name string
+	Type string // INT, FLOAT, TEXT, BOOL
+}
+
+// Table is a generated table.
+type Table struct {
+	Name    string
+	Columns []Column
+	// nextIndex numbers the indexes created on this table.
+	nextIndex int
+}
+
+// Generator produces random schemas, rows, queries, predicates, and
+// mutations from a seeded source, so campaigns are reproducible.
+type Generator struct {
+	rng    *rand.Rand
+	Tables []*Table
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SchemaSQL generates a fresh schema of n tables and returns the DDL plus
+// initial INSERT statements. It resets any previous schema state.
+func (g *Generator) SchemaSQL(tables, rowsPerTable int) []string {
+	g.Tables = nil
+	var stmts []string
+	for i := 0; i < tables; i++ {
+		t := &Table{Name: fmt.Sprintf("t%d", i)}
+		// Alternate the join column's type so generated joins compare INT
+		// against FLOAT keys (cross-kind equality edge cases).
+		joinType := "INT"
+		if i%2 == 1 {
+			joinType = "FLOAT"
+		}
+		t.Columns = append(t.Columns, Column{Name: "c0", Type: joinType})
+		nCols := 2 + g.rng.Intn(3)
+		types := []string{"INT", "FLOAT", "TEXT", "BOOL"}
+		for c := 1; c <= nCols; c++ {
+			t.Columns = append(t.Columns, Column{
+				Name: fmt.Sprintf("c%d", c),
+				Type: types[g.rng.Intn(len(types))],
+			})
+		}
+		g.Tables = append(g.Tables, t)
+		var cols []string
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name+" "+c.Type)
+		}
+		stmts = append(stmts, "CREATE TABLE "+t.Name+" ("+strings.Join(cols, ", ")+")")
+		if rowsPerTable > 0 {
+			stmts = append(stmts, g.insertSQL(t, rowsPerTable))
+		}
+	}
+	return stmts
+}
+
+func (g *Generator) insertSQL(t *Table, n int) string {
+	var rows []string
+	for r := 0; r < n; r++ {
+		var vals []string
+		for _, c := range t.Columns {
+			vals = append(vals, g.value(c.Type))
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return "INSERT INTO " + t.Name + " VALUES " + strings.Join(rows, ", ")
+}
+
+// value renders a random literal of the given type, covering NULLs and
+// boundary values.
+func (g *Generator) value(typ string) string {
+	if g.rng.Intn(8) == 0 {
+		return "NULL"
+	}
+	switch typ {
+	case "INT":
+		switch g.rng.Intn(6) {
+		case 0:
+			return "0"
+		case 1:
+			return fmt.Sprint(-1 - g.rng.Intn(100))
+		default:
+			return fmt.Sprint(g.rng.Intn(100))
+		}
+	case "FLOAT":
+		switch g.rng.Intn(5) {
+		case 0:
+			return "0.0"
+		case 1:
+			return fmt.Sprintf("%d.0", g.rng.Intn(50))
+		default:
+			return fmt.Sprintf("%.2f", g.rng.Float64()*100-50)
+		}
+	case "TEXT":
+		words := []string{"'a'", "'b'", "'abc'", "''", "'xyz'", "'a%b'", "'_'"}
+		return words[g.rng.Intn(len(words))]
+	case "BOOL":
+		if g.rng.Intn(2) == 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "NULL"
+}
+
+// randTable picks a random generated table.
+func (g *Generator) randTable() *Table {
+	return g.Tables[g.rng.Intn(len(g.Tables))]
+}
+
+func (g *Generator) randColumn(t *Table) Column {
+	return t.Columns[g.rng.Intn(len(t.Columns))]
+}
+
+// Predicate generates a random predicate over the table's columns, with
+// qualified column names when qualify is set.
+func (g *Generator) Predicate(t *Table, qualify bool, depth int) string {
+	col := func() string {
+		c := g.randColumn(t)
+		if qualify {
+			return t.Name + "." + c.Name
+		}
+		return c.Name
+	}
+	typedCol := func(typ string) (string, bool) {
+		var matches []Column
+		for _, c := range t.Columns {
+			if c.Type == typ {
+				matches = append(matches, c)
+			}
+		}
+		if len(matches) == 0 {
+			return "", false
+		}
+		c := matches[g.rng.Intn(len(matches))]
+		if qualify {
+			return t.Name + "." + c.Name, true
+		}
+		return c.Name, true
+	}
+	if depth > 0 && g.rng.Intn(3) == 0 {
+		conn := " AND "
+		if g.rng.Intn(2) == 0 {
+			conn = " OR "
+		}
+		return "(" + g.Predicate(t, qualify, depth-1) + conn + g.Predicate(t, qualify, depth-1) + ")"
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return col() + " IS NULL"
+	case 1:
+		return col() + " IS NOT NULL"
+	case 2:
+		ops := []string{"=", "<", ">", "<=", ">=", "<>"}
+		return col() + " " + ops[g.rng.Intn(len(ops))] + " " + g.value("INT")
+	case 3:
+		if c, ok := typedCol("INT"); ok {
+			// The Listing 3 shape: integer column probed with a float list.
+			return c + " IN (GREATEST(0.1, 0.2))"
+		}
+		return col() + " IS NULL"
+	case 4:
+		if c, ok := typedCol("INT"); ok {
+			// Integer column compared against a fractional constant.
+			return c + fmt.Sprintf(" = %d.5", g.rng.Intn(20))
+		}
+		return col() + " IN (" + g.value("INT") + ", " + g.value("INT") + ")"
+	case 5:
+		return col() + " IN (" + g.value("INT") + ", " + g.value("INT") + ")"
+	case 6:
+		lo := g.rng.Intn(40)
+		return col() + fmt.Sprintf(" BETWEEN %d AND %d", lo, lo+g.rng.Intn(30))
+	case 7:
+		ops := []string{">=", "<="}
+		return col() + " " + ops[g.rng.Intn(len(ops))] + fmt.Sprintf(" %d", g.rng.Intn(50))
+	case 8:
+		return "NOT (" + g.Predicate(t, qualify, 0) + ")"
+	default:
+		if c, ok := typedCol("TEXT"); ok {
+			pats := []string{"'a%'", "'%b%'", "'_'", "'abc'"}
+			return c + " LIKE " + pats[g.rng.Intn(len(pats))]
+		}
+		return col() + " = " + g.value("INT")
+	}
+}
+
+// Query generates a random SELECT over the generated schema.
+func (g *Generator) Query() string {
+	t := g.randTable()
+	// Occasionally generate a compound (set-operation) query over two
+	// distinct tables.
+	if len(g.Tables) > 1 && g.rng.Intn(6) == 0 {
+		var t2 *Table
+		for {
+			t2 = g.randTable()
+			if t2 != t {
+				break
+			}
+		}
+		op := []string{"UNION", "UNION ALL", "EXCEPT", "INTERSECT"}[g.rng.Intn(4)]
+		return fmt.Sprintf("SELECT c0 FROM %s %s SELECT c0 FROM %s", t.Name, op, t2.Name)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	distinct := g.rng.Intn(5) == 0
+	if distinct {
+		b.WriteString("DISTINCT ")
+	}
+	join := len(g.Tables) > 1 && g.rng.Intn(3) == 0
+	var t2 *Table
+	if join {
+		for {
+			t2 = g.randTable()
+			if t2 != t {
+				break
+			}
+		}
+	}
+	groupBy := !distinct && g.rng.Intn(4) == 0
+	gcol := g.randColumn(t)
+	switch {
+	case groupBy:
+		fmt.Fprintf(&b, "%s.%s, COUNT(*)", t.Name, gcol.Name)
+	case g.rng.Intn(4) == 0:
+		fmt.Fprintf(&b, "%s.%s", t.Name, g.randColumn(t).Name)
+	default:
+		b.WriteString("*")
+	}
+	b.WriteString(" FROM " + t.Name)
+	if join {
+		jt := "INNER JOIN"
+		if g.rng.Intn(3) == 0 {
+			jt = "LEFT JOIN"
+		}
+		fmt.Fprintf(&b, " %s %s ON %s.c0 = %s.c0", jt, t2.Name, t.Name, t2.Name)
+	}
+	if g.rng.Intn(4) != 0 {
+		b.WriteString(" WHERE " + g.Predicate(t, true, 1))
+	}
+	if groupBy {
+		fmt.Fprintf(&b, " GROUP BY %s.%s", t.Name, gcol.Name)
+		if g.rng.Intn(3) == 0 {
+			b.WriteString(" HAVING COUNT(*) >= 1")
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		fmt.Fprintf(&b, " ORDER BY %s.%s", t.Name, gcol.Name)
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " LIMIT %d", 1+g.rng.Intn(10))
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, " OFFSET %d", g.rng.Intn(4))
+			}
+		}
+	}
+	return b.String()
+}
+
+// PartitionableQuery returns a table plus a random predicate, the inputs
+// TLP needs (SELECT * FROM t WHERE φ partitions).
+func (g *Generator) PartitionableQuery() (table, predicate string) {
+	t := g.randTable()
+	return t.Name, g.Predicate(t, false, 1)
+}
+
+// RestrictableQuery returns a base query plus a more restrictive variant
+// (one extra conjunct), the inputs CERT needs.
+func (g *Generator) RestrictableQuery() (base, restricted string) {
+	t := g.randTable()
+	p1 := g.Predicate(t, false, 0)
+	p2 := g.Predicate(t, false, 0)
+	base = fmt.Sprintf("SELECT * FROM %s WHERE %s", t.Name, p1)
+	restricted = fmt.Sprintf("SELECT * FROM %s WHERE %s AND %s", t.Name, p1, p2)
+	return base, restricted
+}
+
+// Mutation generates a QPG database mutation: an index creation, extra
+// rows, an update, or a delete. QPG applies these when plan coverage
+// stalls, steering future queries toward new plans.
+func (g *Generator) Mutation() string {
+	t := g.randTable()
+	switch g.rng.Intn(6) {
+	case 0, 1, 2:
+		c := g.randColumn(t)
+		t.nextIndex++
+		return fmt.Sprintf("CREATE INDEX i_%s_%s_%d ON %s (%s)",
+			t.Name, c.Name, t.nextIndex, t.Name, c.Name)
+	case 3:
+		return g.insertSQL(t, 1+g.rng.Intn(5))
+	case 4:
+		c := g.randColumn(t)
+		return fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s",
+			t.Name, c.Name, g.value(c.Type), g.Predicate(t, false, 0))
+	default:
+		return fmt.Sprintf("DELETE FROM %s WHERE %s", t.Name, g.Predicate(t, false, 0))
+	}
+}
+
+// UpdateWithSwap generates an UPDATE whose SET clauses read columns that
+// other SET clauses write (triggers Halloween-style executor bugs).
+func (g *Generator) UpdateWithSwap() string {
+	t := g.randTable()
+	var ints []Column
+	for _, c := range t.Columns {
+		if c.Type == "INT" || c.Type == "FLOAT" {
+			ints = append(ints, c)
+		}
+	}
+	if len(ints) < 2 {
+		return g.Mutation()
+	}
+	a, b := ints[0], ints[1]
+	return fmt.Sprintf("UPDATE %s SET %s = %s + 1, %s = %s * 2",
+		t.Name, a.Name, b.Name, b.Name, a.Name)
+}

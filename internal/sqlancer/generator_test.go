@@ -1,0 +1,99 @@
+package sqlancer
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/sql"
+)
+
+func TestSchemaParses(t *testing.T) {
+	g := New(1)
+	for _, stmt := range g.SchemaSQL(3, 5) {
+		if _, err := sql.Parse(stmt); err != nil {
+			t.Errorf("unparseable schema stmt %q: %v", stmt, err)
+		}
+	}
+	if len(g.Tables) != 3 {
+		t.Fatalf("tables = %d", len(g.Tables))
+	}
+	// Alternating join-column types for cross-kind joins.
+	if g.Tables[0].Columns[0].Type != "INT" || g.Tables[1].Columns[0].Type != "FLOAT" {
+		t.Errorf("c0 types: %s, %s", g.Tables[0].Columns[0].Type, g.Tables[1].Columns[0].Type)
+	}
+}
+
+func TestGeneratedStatementsParse(t *testing.T) {
+	g := New(2)
+	g.SchemaSQL(2, 5)
+	for i := 0; i < 300; i++ {
+		q := g.Query()
+		if _, err := sql.Parse(q); err != nil {
+			t.Fatalf("unparseable query %q: %v", q, err)
+		}
+		m := g.Mutation()
+		if _, err := sql.Parse(m); err != nil {
+			t.Fatalf("unparseable mutation %q: %v", m, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		table, pred := g.PartitionableQuery()
+		q := "SELECT * FROM " + table + " WHERE " + pred
+		if _, err := sql.Parse(q); err != nil {
+			t.Fatalf("unparseable TLP input %q: %v", q, err)
+		}
+		base, restricted := g.RestrictableQuery()
+		if _, err := sql.Parse(base); err != nil {
+			t.Fatalf("unparseable CERT base %q: %v", base, err)
+		}
+		if _, err := sql.Parse(restricted); err != nil {
+			t.Fatalf("unparseable CERT restriction %q: %v", restricted, err)
+		}
+		if !strings.HasPrefix(restricted, base[:len(base)-0]) && !strings.Contains(restricted, " AND ") {
+			t.Errorf("restriction should extend the base: %q vs %q", base, restricted)
+		}
+		u := g.UpdateWithSwap()
+		if _, err := sql.Parse(u); err != nil {
+			t.Fatalf("unparseable swap update %q: %v", u, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	a.SchemaSQL(2, 3)
+	b.SchemaSQL(2, 3)
+	for i := 0; i < 50; i++ {
+		if a.Query() != b.Query() {
+			t.Fatal("same seed must generate identical queries")
+		}
+	}
+}
+
+func TestQueryVariety(t *testing.T) {
+	g := New(9)
+	g.SchemaSQL(2, 3)
+	seen := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		q := g.Query()
+		switch {
+		case strings.Contains(q, "EXCEPT"), strings.Contains(q, "INTERSECT"),
+			strings.Contains(q, "UNION"):
+			seen["compound"] = true
+		case strings.Contains(q, "LEFT JOIN"):
+			seen["leftjoin"] = true
+		case strings.Contains(q, "GROUP BY"):
+			seen["groupby"] = true
+		case strings.Contains(q, "LIMIT"):
+			seen["limit"] = true
+		}
+		if strings.Contains(q, "GREATEST") {
+			seen["float-in"] = true
+		}
+	}
+	for _, k := range []string{"compound", "leftjoin", "groupby", "limit", "float-in"} {
+		if !seen[k] {
+			t.Errorf("query class %q never generated", k)
+		}
+	}
+}

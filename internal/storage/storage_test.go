@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uplan/internal/catalog"
+	"uplan/internal/datum"
+)
+
+func newTestDB(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.CreateTable(&catalog.Table{
+		Name: "t0",
+		Columns: []catalog.Column{
+			{Name: "c0", Type: catalog.TInt, PrimaryKey: true, NotNull: true},
+			{Name: "c1", Type: catalog.TText},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+func TestInsertScanDelete(t *testing.T) {
+	_, tbl := newTestDB(t)
+	for i := 0; i < 10; i++ {
+		if _, err := tbl.Insert(Row{datum.Int(int64(i)), datum.Str("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != 10 {
+		t.Fatalf("RowCount = %d", tbl.RowCount())
+	}
+	tbl.Delete(3)
+	tbl.Delete(3) // double delete is a no-op
+	if tbl.RowCount() != 9 {
+		t.Fatalf("after delete RowCount = %d", tbl.RowCount())
+	}
+	var seen []int64
+	tbl.Scan(func(id int, row Row) bool {
+		seen = append(seen, row[0].I)
+		return true
+	})
+	if len(seen) != 9 {
+		t.Fatalf("scan saw %d rows", len(seen))
+	}
+	for _, v := range seen {
+		if v == 3 {
+			t.Error("deleted row visible in scan")
+		}
+	}
+	if _, ok := tbl.Get(3); ok {
+		t.Error("deleted row retrievable")
+	}
+	if row, ok := tbl.Get(4); !ok || row[0].I != 4 {
+		t.Error("Get broken")
+	}
+}
+
+func TestInsertValidations(t *testing.T) {
+	_, tbl := newTestDB(t)
+	if _, err := tbl.Insert(Row{datum.Int(1)}); err == nil {
+		t.Error("width mismatch must fail")
+	}
+	if _, err := tbl.Insert(Row{datum.Null(), datum.Str("x")}); err == nil {
+		t.Error("NULL in NOT NULL column must fail")
+	}
+	if _, err := tbl.Insert(Row{datum.Int(1), datum.Null()}); err != nil {
+		t.Errorf("nullable column should accept NULL: %v", err)
+	}
+	if _, err := tbl.Insert(Row{datum.Int(1), datum.Str("dup")}); err == nil {
+		t.Error("primary key violation must fail")
+	}
+}
+
+func TestPrimaryIndexAutoCreated(t *testing.T) {
+	_, tbl := newTestDB(t)
+	ix := tbl.Index("t0_pkey")
+	if ix == nil || !ix.Def.Unique || !ix.Def.Primary {
+		t.Fatalf("pkey index: %+v", ix)
+	}
+	if len(tbl.Indexes()) != 1 {
+		t.Errorf("Indexes() = %d", len(tbl.Indexes()))
+	}
+}
+
+func TestSecondaryIndexBackfillAndMaintenance(t *testing.T) {
+	db, tbl := newTestDB(t)
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Insert(Row{datum.Int(int64(i)), datum.Str(string(rune('e' - i)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := db.CreateIndex(&catalog.Index{Name: "i0", Table: "t0", Columns: []string{"c1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("backfill: %d entries", ix.Len())
+	}
+	// Ordered scan must be sorted by key.
+	var keys []string
+	ix.ScanOrdered(func(key []datum.D, _ int) bool {
+		keys = append(keys, key[0].S)
+		return true
+	})
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("index not ordered: %v", keys)
+		}
+	}
+	// Maintenance on insert/delete/update.
+	id, _ := tbl.Insert(Row{datum.Int(100), datum.Str("zz")})
+	if got := ix.LookupEqual([]datum.D{datum.Str("zz")}); len(got) != 1 || got[0] != id {
+		t.Errorf("lookup after insert: %v", got)
+	}
+	if err := tbl.Update(id, Row{datum.Int(100), datum.Str("aa")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.LookupEqual([]datum.D{datum.Str("zz")}); len(got) != 0 {
+		t.Errorf("stale index entry after update: %v", got)
+	}
+	if got := ix.LookupEqual([]datum.D{datum.Str("aa")}); len(got) != 1 {
+		t.Errorf("missing index entry after update: %v", got)
+	}
+	tbl.Delete(id)
+	if got := ix.LookupEqual([]datum.D{datum.Str("aa")}); len(got) != 0 {
+		t.Errorf("stale index entry after delete: %v", got)
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	db, tbl := newTestDB(t)
+	for i := 1; i <= 10; i++ {
+		if _, err := tbl.Insert(Row{datum.Int(int64(i)), datum.Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := tbl.Index("t0_pkey")
+	lo, hi := datum.Int(3), datum.Int(7)
+	ids := ix.Range(&lo, &hi, true, true)
+	if len(ids) != 5 {
+		t.Fatalf("range [3,7]: %d ids", len(ids))
+	}
+	ids = ix.Range(&lo, &hi, false, false)
+	if len(ids) != 3 {
+		t.Fatalf("range (3,7): %d ids", len(ids))
+	}
+	ids = ix.Range(&lo, nil, true, true)
+	if len(ids) != 8 {
+		t.Fatalf("range [3,∞): %d ids", len(ids))
+	}
+	ids = ix.Range(nil, nil, true, true)
+	if len(ids) != 10 {
+		t.Fatalf("full range: %d ids", len(ids))
+	}
+	_ = db
+}
+
+func TestIndexSkipsNullKeys(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(&catalog.Table{
+		Name:    "n",
+		Columns: []catalog.Column{{Name: "a", Type: catalog.TInt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateIndex(&catalog.Index{Name: "ia", Table: "n", Columns: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = tbl.Insert(Row{datum.Null()})
+	_, _ = tbl.Insert(Row{datum.Int(1)})
+	lo := datum.Int(0)
+	if ids := ix.Range(&lo, nil, true, true); len(ids) != 1 {
+		t.Errorf("NULL keys must not match ranges: %v", ids)
+	}
+	// Unique index must allow multiple NULLs (SQL semantics).
+	db2 := NewDB()
+	tbl2, _ := db2.CreateTable(&catalog.Table{
+		Name:    "u",
+		Columns: []catalog.Column{{Name: "a", Type: catalog.TInt}},
+	})
+	_, _ = db2.CreateIndex(&catalog.Index{Name: "ua", Table: "u", Columns: []string{"a"}, Unique: true})
+	if _, err := tbl2.Insert(Row{datum.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl2.Insert(Row{datum.Null()}); err != nil {
+		t.Errorf("duplicate NULLs must be allowed in unique index: %v", err)
+	}
+	if _, err := tbl2.Insert(Row{datum.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl2.Insert(Row{datum.Int(1)}); err == nil {
+		t.Error("duplicate non-NULL must be rejected")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	db, tbl := newTestDB(t)
+	for i := 0; i < 100; i++ {
+		_, _ = tbl.Insert(Row{datum.Int(int64(i)), datum.Str(string(rune('a' + i%4)))})
+	}
+	if err := db.Analyze("t0"); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Schema.Stats("t0")
+	if st.RowCount != 100 {
+		t.Errorf("RowCount = %d", st.RowCount)
+	}
+	c0 := st.Column("c0")
+	if c0.Distinct != 100 || c0.Min.I != 0 || c0.Max.I != 99 {
+		t.Errorf("c0 stats: %+v", c0)
+	}
+	c1 := st.Column("c1")
+	if c1.Distinct != 4 {
+		t.Errorf("c1 distinct = %d", c1.Distinct)
+	}
+	if err := db.Analyze("missing"); err == nil {
+		t.Error("analyze of missing table must fail")
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	db, tbl := newTestDB(t)
+	for i := 0; i < 20; i++ {
+		_, _ = tbl.Insert(Row{datum.Int(int64(i)), datum.Str("x")})
+	}
+	if _, err := db.CreateIndex(&catalog.Index{Name: "i1", Table: "t0", Columns: []string{"c1"}}); err != nil {
+		t.Fatal(err)
+	}
+	cp := db.Clone()
+	ct := cp.Table("t0")
+	if ct.RowCount() != 20 {
+		t.Fatalf("clone rows = %d", ct.RowCount())
+	}
+	if ct.Index("i1") == nil || ct.Index("t0_pkey") == nil {
+		t.Error("clone lost indexes")
+	}
+	// Mutating the clone leaves the original untouched.
+	_, _ = ct.Insert(Row{datum.Int(1000), datum.Str("new")})
+	if tbl.RowCount() != 20 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestIndexOrderInvariant(t *testing.T) {
+	// Property: after any sequence of inserts, index entries are sorted.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		tbl, _ := db.CreateTable(&catalog.Table{
+			Name:    "p",
+			Columns: []catalog.Column{{Name: "a", Type: catalog.TInt}},
+		})
+		ix, _ := db.CreateIndex(&catalog.Index{Name: "pa", Table: "p", Columns: []string{"a"}})
+		for i := 0; i < 60; i++ {
+			_, _ = tbl.Insert(Row{datum.Int(int64(r.Intn(20)))})
+		}
+		for i := 0; i < 10; i++ {
+			tbl.Delete(r.Intn(60))
+		}
+		ok := true
+		var prev []datum.D
+		ix.ScanOrdered(func(key []datum.D, _ int) bool {
+			if prev != nil && datum.CompareRows(prev, key) > 0 {
+				ok = false
+				return false
+			}
+			prev = append([]datum.D(nil), key...)
+			return true
+		})
+		return ok && ix.Len() == tbl.RowCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	db, _ := newTestDB(t)
+	if _, err := db.CreateTable(&catalog.Table{Name: "t0"}); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := db.CreateIndex(&catalog.Index{Name: "x", Table: "zz", Columns: []string{"a"}}); err == nil {
+		t.Error("index on missing table must fail")
+	}
+	if _, err := db.CreateIndex(&catalog.Index{Name: "x", Table: "t0", Columns: []string{"zz"}}); err == nil {
+		t.Error("index on missing column must fail")
+	}
+	if _, err := db.CreateIndex(&catalog.Index{Name: "t0_pkey", Table: "t0", Columns: []string{"c0"}}); err == nil {
+		t.Error("duplicate index name must fail")
+	}
+	db.DropTable("t0")
+	if db.Table("t0") != nil {
+		t.Error("DropTable broken")
+	}
+}

@@ -1,0 +1,84 @@
+package tlp
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/datum"
+	"uplan/internal/dbms"
+	"uplan/internal/exec"
+)
+
+func engine(t *testing.T) *dbms.Engine {
+	t.Helper()
+	e := dbms.MustNew("postgresql")
+	for _, s := range []string{
+		"CREATE TABLE t0 (c0 INT, c1 INT)",
+		"INSERT INTO t0 VALUES (1, NULL), (2, 5), (3, 10), (NULL, 7)",
+	} {
+		if _, err := e.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestPartitionsConsistentOnCorrectEngine(t *testing.T) {
+	e := engine(t)
+	for _, pred := range []string{
+		"c1 > 6", "c0 IS NULL", "c1 = 5 OR c0 < 2", "NOT (c1 < 8)",
+		"c0 BETWEEN 1 AND 2", "c1 IN (5, 7)",
+	} {
+		v, err := Check(e, "t0", pred)
+		if err != nil {
+			t.Fatalf("pred %q: %v", pred, err)
+		}
+		if v != nil {
+			t.Errorf("correct engine violated TLP for %q: %v", pred, v)
+		}
+	}
+}
+
+func TestViolationDetectedAndRendered(t *testing.T) {
+	e := engine(t)
+	e.Quirks.NotIgnoresNull = true
+	v, err := Check(e, "t0", "c1 > 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("defect not detected")
+	}
+	if !strings.Contains(v.Error(), "tlp:") {
+		t.Errorf("violation rendering: %s", v.Error())
+	}
+}
+
+func TestCheckPropagatesExecutionErrors(t *testing.T) {
+	e := engine(t)
+	if _, err := Check(e, "missing_table", "c1 > 6"); err == nil {
+		t.Error("missing table must surface as an error")
+	}
+}
+
+func TestCompareResults(t *testing.T) {
+	a := &exec.Result{Rows: [][]datum.D{{datum.Int(1)}, {datum.Int(2)}}}
+	b := &exec.Result{Rows: [][]datum.D{{datum.Int(2)}, {datum.Int(1)}}}
+	if diff := CompareResults(a, b); diff != "" {
+		t.Errorf("order-insensitive comparison broken: %s", diff)
+	}
+	c := &exec.Result{Rows: [][]datum.D{{datum.Int(1)}}}
+	if diff := CompareResults(a, c); diff == "" {
+		t.Error("cardinality difference missed")
+	}
+	d := &exec.Result{Rows: [][]datum.D{{datum.Int(1)}, {datum.Int(3)}}}
+	if diff := CompareResults(a, d); diff == "" {
+		t.Error("content difference missed")
+	}
+	// NULL vs 0 must differ.
+	n1 := &exec.Result{Rows: [][]datum.D{{datum.Null()}}}
+	n2 := &exec.Result{Rows: [][]datum.D{{datum.Int(0)}}}
+	if diff := CompareResults(n1, n2); diff == "" {
+		t.Error("NULL vs 0 missed")
+	}
+}

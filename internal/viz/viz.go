@@ -1,0 +1,177 @@
+// Package viz renders unified query plans visually — application A.2 of
+// the paper. One renderer serves every DBMS with a converter, which is the
+// paper's point: a PEV2-class tool needs only moderate changes to support
+// all studied systems once plans are unified. Three backends are provided:
+// an ASCII tree for terminals, Graphviz DOT, and a self-contained HTML
+// page in the PEV2 visual idiom (operation boxes with category badges and
+// property lists).
+package viz
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"uplan/internal/core"
+)
+
+// categoryColor maps operation categories to display colors.
+var categoryColor = map[core.OperationCategory]string{
+	core.Producer:   "#2e7d32",
+	core.Combinator: "#1565c0",
+	core.Join:       "#c62828",
+	core.Folder:     "#6a1b9a",
+	core.Projector:  "#00838f",
+	core.Executor:   "#616161",
+	core.Consumer:   "#ef6c00",
+}
+
+// ASCII renders the plan as an indented tree with category prefixes and
+// selected properties, the terminal equivalent of Figure 3's node boxes.
+func ASCII(p *core.Plan) string {
+	var b strings.Builder
+	if p.Source != "" {
+		fmt.Fprintf(&b, "[%s]\n", p.Source)
+	}
+	var walk func(n *core.Node, prefix string, last bool, root bool)
+	walk = func(n *core.Node, prefix string, last bool, root bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if root {
+			connector = ""
+			childPrefix = ""
+		}
+		fmt.Fprintf(&b, "%s%s%s→%s", prefix, connector, n.Op.Category, n.Op.Name)
+		if est, ok := findNum(n, core.Cardinality, "estimated rows"); ok {
+			fmt.Fprintf(&b, "  (rows≈%g)", est)
+		}
+		b.WriteByte('\n')
+		for _, pr := range n.Properties {
+			if pr.Category != core.Configuration {
+				continue
+			}
+			fmt.Fprintf(&b, "%s   %s = %s\n", childPrefix, pr.Name, pr.Value.String())
+		}
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1, false)
+		}
+	}
+	if p.Root != nil {
+		walk(p.Root, "", true, true)
+	}
+	for _, pr := range p.Properties {
+		fmt.Fprintf(&b, "%s: %s\n", pr.Name, pr.Value.String())
+	}
+	return b.String()
+}
+
+func findNum(n *core.Node, cat core.PropertyCategory, name string) (float64, bool) {
+	for _, pr := range n.Properties {
+		if pr.Category == cat && pr.Name == name && pr.Value.Kind == core.KindNumber {
+			return pr.Value.Num, true
+		}
+	}
+	return 0, false
+}
+
+// DOT renders the plan as a Graphviz digraph with category-colored nodes.
+func DOT(p *core.Plan) string {
+	var b strings.Builder
+	b.WriteString("digraph uplan {\n  rankdir=BT;\n  node [shape=box, style=filled, fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(n *core.Node) int
+	walk = func(n *core.Node) int {
+		my := id
+		id++
+		color := categoryColor[n.Op.Category]
+		if color == "" {
+			color = "#9e9e9e"
+		}
+		label := fmt.Sprintf("%s\\n%s", n.Op.Category, escapeDOT(n.Op.Name))
+		if obj, ok := n.Property("name object"); ok {
+			label += "\\n" + escapeDOT(obj.Value.Str)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=\"%s\", fontcolor=white];\n",
+			my, label, color)
+		for _, c := range n.Children {
+			ci := walk(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ci, my)
+		}
+		return my
+	}
+	if p.Root != nil {
+		walk(p.Root)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, `\`, `\\`), `"`, `\"`)
+}
+
+// HTML renders a self-contained page showing one or more plans side by
+// side (Figure 3 shows PostgreSQL, MongoDB, and MySQL plans of TPC-H q1).
+func HTML(title string, plans ...*core.Plan) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: Helvetica, Arial, sans-serif; background: #f5f5f5; }
+.plans { display: flex; gap: 24px; align-items: flex-start; }
+.plan { background: white; border-radius: 8px; padding: 12px; box-shadow: 0 1px 4px rgba(0,0,0,.2); }
+.plan h2 { margin: 0 0 8px 0; font-size: 15px; }
+.node { border: 1px solid #ddd; border-radius: 6px; margin: 6px 0 6px 18px; padding: 6px 10px; }
+.cat { display: inline-block; color: white; border-radius: 4px; padding: 1px 6px; font-size: 11px; margin-right: 6px; }
+.name { font-weight: bold; font-size: 13px; }
+.prop { font-size: 11px; color: #555; margin-left: 4px; }
+.planprops { font-size: 11px; color: #333; margin-top: 8px; border-top: 1px solid #eee; padding-top: 6px; }
+</style></head><body>` + "\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<div class=\"plans\">\n", html.EscapeString(title))
+	for _, p := range plans {
+		b.WriteString("<div class=\"plan\">\n")
+		src := p.Source
+		if src == "" {
+			src = "unified plan"
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(src))
+		var walk func(n *core.Node)
+		walk = func(n *core.Node) {
+			color := categoryColor[n.Op.Category]
+			if color == "" {
+				color = "#9e9e9e"
+			}
+			fmt.Fprintf(&b, "<div class=\"node\"><span class=\"cat\" style=\"background:%s\">%s</span>",
+				color, html.EscapeString(string(n.Op.Category)))
+			fmt.Fprintf(&b, "<span class=\"name\">%s</span>", html.EscapeString(n.Op.Name))
+			for _, pr := range n.Properties {
+				if pr.Category == core.Configuration || pr.Category == core.Cardinality {
+					fmt.Fprintf(&b, "<div class=\"prop\">%s: %s</div>",
+						html.EscapeString(pr.Name), html.EscapeString(pr.Value.String()))
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+			b.WriteString("</div>\n")
+		}
+		if p.Root != nil {
+			walk(p.Root)
+		}
+		if len(p.Properties) > 0 {
+			b.WriteString("<div class=\"planprops\">")
+			for _, pr := range p.Properties {
+				fmt.Fprintf(&b, "%s: %s<br>", html.EscapeString(pr.Name),
+					html.EscapeString(pr.Value.String()))
+			}
+			b.WriteString("</div>\n")
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</div></body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/core"
+)
+
+func samplePlan() *core.Plan {
+	scan := core.NewNode(core.Producer, "Full Table Scan").
+		AddProperty(core.Configuration, "name object", core.Str("t0")).
+		AddProperty(core.Cardinality, "estimated rows", core.Num(100))
+	agg := core.NewNode(core.Folder, "Hash Aggregate").
+		AddProperty(core.Configuration, "group key", core.Str("c0"))
+	agg.AddChild(scan)
+	p := &core.Plan{Source: "postgresql", Root: agg}
+	p.AddProperty(core.Status, "planning time", core.Num(0.2))
+	return p
+}
+
+func TestASCII(t *testing.T) {
+	out := ASCII(samplePlan())
+	for _, want := range []string{"[postgresql]", "Folder→Hash Aggregate",
+		"Producer→Full Table Scan", "group key", "planning time", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(samplePlan())
+	for _, want := range []string{"digraph uplan", "Producer", "Hash Aggregate",
+		"n1 -> n0", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Quotes in names must be escaped.
+	p := &core.Plan{Root: core.NewNode(core.Executor, `odd "name"`)}
+	if !strings.Contains(DOT(p), `odd \"name\"`) {
+		t.Error("DOT must escape quotes")
+	}
+}
+
+func TestHTML(t *testing.T) {
+	out := HTML("Test & Title", samplePlan(), samplePlan())
+	for _, want := range []string{"<!DOCTYPE html>", "Test &amp; Title",
+		"Full Table Scan", "class=\"node\"", "planning time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Count(out, "class=\"plan\"") != 2 {
+		t.Error("HTML should render both plans side by side")
+	}
+	// Script injection through plan content must be escaped.
+	evil := &core.Plan{Root: core.NewNode(core.Executor, "<script>alert(1)</script>")}
+	if strings.Contains(HTML("x", evil), "<script>alert") {
+		t.Error("HTML must escape operator names")
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p := &core.Plan{Source: "influxdb"}
+	p.AddProperty(core.Cardinality, "estimated rows", core.Num(5))
+	if out := ASCII(p); !strings.Contains(out, "estimated rows") {
+		t.Errorf("property-only plan should render plan props:\n%s", out)
+	}
+	if out := DOT(p); !strings.Contains(out, "digraph") {
+		t.Error("DOT of empty plan should still be a valid digraph")
+	}
+}

@@ -1,0 +1,89 @@
+// Package uplan is the public facade of the UPlan library, a Go
+// implementation of "Towards a Unified Query Plan Representation" (Ba &
+// Rigger, ICDE 2025). It re-exports the unified query plan representation
+// so downstream users work against a stable surface while the
+// implementation lives in internal packages.
+//
+// Quickstart:
+//
+//	plan, err := uplan.Convert("postgresql", explainOutput)
+//	if err != nil { ... }
+//	fmt.Println(plan.MarshalIndentedText())
+//	fmt.Println(plan.Histogram())
+//
+// See the examples/ directory for complete programs covering the paper's
+// three applications: DBMS-agnostic testing (QPG/CERT), visualization, and
+// cross-DBMS benchmarking.
+package uplan
+
+import (
+	"uplan/internal/convert"
+	"uplan/internal/core"
+)
+
+// Core representation types, re-exported.
+type (
+	// Plan is a unified query plan: an operation tree plus plan-level
+	// properties.
+	Plan = core.Plan
+	// Node is one operation in the plan tree.
+	Node = core.Node
+	// Operation is a categorized operation identifier.
+	Operation = core.Operation
+	// Property is a categorized key/value pair.
+	Property = core.Property
+	// Value is a property value (string, number, boolean, or null).
+	Value = core.Value
+	// OperationCategory is one of the seven operation categories.
+	OperationCategory = core.OperationCategory
+	// PropertyCategory is one of the four property categories.
+	PropertyCategory = core.PropertyCategory
+	// Registry maps DBMS-specific names to unified names.
+	Registry = core.Registry
+	// FingerprintOptions controls structural plan fingerprints.
+	FingerprintOptions = core.FingerprintOptions
+	// CategoryHistogram counts operations per category.
+	CategoryHistogram = core.CategoryHistogram
+)
+
+// The seven operation categories (Section III-C of the paper).
+const (
+	Producer   = core.Producer
+	Combinator = core.Combinator
+	Join       = core.Join
+	Folder     = core.Folder
+	Projector  = core.Projector
+	Executor   = core.Executor
+	Consumer   = core.Consumer
+)
+
+// The four property categories (Section III-D of the paper).
+const (
+	Cardinality   = core.Cardinality
+	Cost          = core.Cost
+	Configuration = core.Configuration
+	Status        = core.Status
+)
+
+// Convert parses a DBMS-native serialized plan (EXPLAIN output in any of
+// the dialect's documented formats) into the unified representation.
+// Supported dialects: postgresql, mysql, tidb, sqlite, mongodb, neo4j,
+// sparksql, sqlserver, influxdb.
+func Convert(dialect, serialized string) (*Plan, error) {
+	return convert.Convert(dialect, serialized)
+}
+
+// Dialects lists the dialect keys Convert accepts.
+func Dialects() []string { return convert.Dialects() }
+
+// ParseText parses a unified plan from its text serialization (either the
+// strict EBNF form or the indented human-readable form).
+func ParseText(s string) (*Plan, error) { return core.ParseText(s) }
+
+// ParseJSON parses a unified plan from its JSON serialization.
+func ParseJSON(data []byte) (*Plan, error) { return core.ParseJSON(data) }
+
+// DefaultRegistry returns the built-in naming registry covering the nine
+// studied DBMSs. Extend it with AddOperation/AliasOperation to support
+// additional systems (Section IV-B's extensibility contract).
+func DefaultRegistry() *Registry { return core.DefaultRegistry() }

@@ -1,0 +1,87 @@
+package uplan
+
+import (
+	"strings"
+	"testing"
+)
+
+const pgPlan = `Seq Scan on t0  (cost=0.00..35.50 rows=2550 width=4)
+  Filter: (c0 < 100)
+Planning Time: 0.124 ms
+`
+
+func TestFacadeConvert(t *testing.T) {
+	plan, err := Convert("postgresql", pgPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.Op.Name != "Full Table Scan" || plan.Root.Op.Category != Producer {
+		t.Errorf("root = %v", plan.Root.Op)
+	}
+	if _, ok := plan.Property("planning time"); !ok {
+		t.Error("plan property lost")
+	}
+	h := plan.Histogram()
+	if h[Producer] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+}
+
+func TestFacadeDialects(t *testing.T) {
+	ds := Dialects()
+	if len(ds) != 9 {
+		t.Errorf("dialects = %v", ds)
+	}
+	if _, err := Convert("oracle", "x"); err == nil {
+		t.Error("unknown dialect must fail")
+	}
+}
+
+func TestFacadeRoundTrips(t *testing.T) {
+	plan, err := Convert("postgresql", pgPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaText, err := ParseText(plan.MarshalIndentedText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Equal(viaText) {
+		t.Error("text round trip broken")
+	}
+	data, err := plan.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Equal(viaJSON) {
+		t.Error("json round trip broken")
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	reg := DefaultRegistry()
+	op := reg.ResolveOperation("tidb", "TableFullScan")
+	if op.Name != "Full Table Scan" {
+		t.Errorf("resolve = %v", op)
+	}
+	if !strings.Contains(plan4Categories(), "Producer") {
+		t.Error("categories missing")
+	}
+}
+
+func plan4Categories() string {
+	var b strings.Builder
+	for _, c := range []OperationCategory{Producer, Combinator, Join, Folder, Projector, Executor, Consumer} {
+		b.WriteString(string(c))
+		b.WriteByte(' ')
+	}
+	for _, c := range []PropertyCategory{Cardinality, Cost, Configuration, Status} {
+		b.WriteString(string(c))
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
