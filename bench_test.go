@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"uplan/internal/bench"
 	"uplan/internal/bugs"
@@ -351,6 +352,72 @@ func BenchmarkConvertPostgresText(b *testing.B) {
 		if _, err := convert.Convert("postgresql", raw); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchConvert compares sequential conversion of the mixed
+// nine-dialect corpus (TPC-H plus the bug-campaign stream) against the
+// concurrent batch pipeline at increasing worker counts.
+//
+// "sequential" is the seed's one-at-a-time path: convert.Convert builds
+// the registry-backed converter anew for every record, which is what
+// callers did before ConvertBatch existed. "sequential-cached" converts
+// one record at a time through the cached converters the facade now uses.
+// The parallel cases run the pipeline, which additionally reuses one
+// converter per dialect per worker and overlaps parsing across workers.
+func BenchmarkBatchConvert(b *testing.B) {
+	corpus, err := bench.Corpus(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRate := func(b *testing.B, n int, elapsed time.Duration) {
+		b.ReportMetric(float64(n*b.N)/elapsed.Seconds(), "plans/s")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, r := range corpus {
+				if _, err := convert.Convert(r.Dialect, r.Serialized); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportRate(b, len(corpus), time.Since(start))
+	})
+	b.Run("sequential-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, r := range corpus {
+				c, err := convert.Cached(r.Dialect)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Convert(r.Serialized); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportRate(b, len(corpus), time.Since(start))
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				results, stats := ConvertBatch(corpus, PipelineOptions{Workers: workers})
+				if stats.Errors != 0 {
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			}
+			reportRate(b, len(corpus), time.Since(start))
+		})
 	}
 }
 

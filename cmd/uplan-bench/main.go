@@ -1,24 +1,34 @@
 // Command uplan-bench regenerates the paper's benchmarking artifacts
 // (application A.3): Table VI (TPC-H operation counts across five DBMSs),
 // Table VII (YCSB on MongoDB, WDBench on Neo4j), Figure 4 (Producer-count
-// variance per query), and the Listing 4 q11 analysis.
+// variance per query), and the Listing 4 q11 analysis. The batch
+// experiment measures conversion throughput of the mixed nine-dialect
+// corpus, sequentially or through the concurrent pipeline.
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch] [-parallel N]
+//
+// -parallel N runs the batch experiment through the conversion pipeline
+// with N workers and reports the speedup over the sequential one-shot
+// path; -parallel 0 (the default) reports the sequential path only.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"uplan/internal/bench"
+	"uplan/internal/convert"
+	"uplan/internal/pipeline"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
-	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch")
+	parallel := flag.Int("parallel", 0, "batch experiment: pipeline worker count (0 = sequential only)")
 	flag.Parse()
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
@@ -51,6 +61,39 @@ func main() {
 		}
 		fmt.Println("== Table VII: YCSB (MongoDB) and WDBench (Neo4j) ==")
 		fmt.Print(bench.FormatCategoryTable(reports))
+		fmt.Println()
+	}
+	if run("batch") {
+		corpus, err := bench.Corpus(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== Batch conversion: %d-record mixed nine-dialect corpus ==\n", len(corpus))
+
+		// Sequential baseline: the one-shot path, which rebuilds the
+		// registry-backed converter for every record.
+		start := time.Now()
+		for _, r := range corpus {
+			if _, err := convert.Convert(r.Dialect, r.Serialized); err != nil {
+				fail(err)
+			}
+		}
+		seqElapsed := time.Since(start)
+		seqRate := float64(len(corpus)) / seqElapsed.Seconds()
+		fmt.Printf("sequential: %d plans in %.3fs (%.0f plans/s)\n",
+			len(corpus), seqElapsed.Seconds(), seqRate)
+
+		if *parallel > 0 {
+			results, stats := pipeline.ConvertBatch(corpus,
+				pipeline.Options{Workers: *parallel})
+			for _, r := range results {
+				if r.Err != nil {
+					fail(r.Err)
+				}
+			}
+			fmt.Printf("pipeline (%d workers):\n%s", *parallel, stats)
+			fmt.Printf("speedup over sequential: %.2fx\n", stats.PlansPerSec()/seqRate)
+		}
 		fmt.Println()
 	}
 	if run("q11") {

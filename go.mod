@@ -1,0 +1,3 @@
+module uplan
+
+go 1.24

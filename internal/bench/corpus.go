@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"uplan/internal/dbms"
+	"uplan/internal/pipeline"
+	"uplan/internal/sqlancer"
+)
+
+// This file builds serialized-plan corpora for the batch-conversion
+// pipeline benchmarks: streams of (dialect, serialized) records mirroring
+// what a plan-ingestion service would receive from a fleet of engines.
+
+// tpchCorpusEngines are the engines that plan the full 22-query TPC-H set
+// (every studied DBMS except the document and graph stores, which get the
+// model-appropriate workloads below).
+var tpchCorpusEngines = []string{
+	"influxdb", "mysql", "postgresql", "sqlserver", "sqlite", "sparksql", "tidb",
+}
+
+// TPCHCorpus explains all 22 TPC-H queries on each SQL-shaped engine in
+// its default format, plus the YCSB workload on MongoDB and the WDBench
+// workload on Neo4j, yielding a mixed corpus that covers all nine
+// dialects.
+func TPCHCorpus(seed int64) ([]pipeline.Record, error) {
+	var recs []pipeline.Record
+	queries := TPCHQueries()
+	for _, name := range tpchCorpusEngines {
+		e, err := dbms.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := LoadTPCH(e, seed, DefaultSizes()); err != nil {
+			return nil, fmt.Errorf("bench: corpus %s: %w", name, err)
+		}
+		for i, q := range queries {
+			out, err := e.Explain(q, e.DefaultFormat())
+			if err != nil {
+				return nil, fmt.Errorf("bench: corpus %s q%d: %w", name, i+1, err)
+			}
+			recs = append(recs, pipeline.Record{Dialect: name, Serialized: out})
+		}
+	}
+
+	mongo := dbms.MustNew("mongodb")
+	if err := LoadYCSB(mongo, seed, 100); err != nil {
+		return nil, err
+	}
+	for i, q := range YCSBQueries(seed, 22) {
+		out, err := mongo.Explain(q, mongo.DefaultFormat())
+		if err != nil {
+			return nil, fmt.Errorf("bench: corpus mongodb q%d: %w", i+1, err)
+		}
+		recs = append(recs, pipeline.Record{Dialect: "mongodb", Serialized: out})
+	}
+
+	neo := dbms.MustNew("neo4j")
+	if err := LoadWDBench(neo, seed, 120, 300); err != nil {
+		return nil, err
+	}
+	for i, q := range WDBenchQueries(seed, 22) {
+		out, err := neo.Explain(q, neo.DefaultFormat())
+		if err != nil {
+			return nil, fmt.Errorf("bench: corpus neo4j q%d: %w", i+1, err)
+		}
+		recs = append(recs, pipeline.Record{Dialect: "neo4j", Serialized: out})
+	}
+	return recs, nil
+}
+
+// bugCampaignEngines are the Table V target systems.
+var bugCampaignEngines = []string{"mysql", "postgresql", "tidb"}
+
+// BugCampaignCorpus explains n SQLancer-generated random queries on each
+// Table V target engine — the plan stream a QPG/CERT campaign feeds
+// through conversion on every test iteration.
+func BugCampaignCorpus(seed int64, n int) ([]pipeline.Record, error) {
+	var recs []pipeline.Record
+	for _, name := range bugCampaignEngines {
+		g := sqlancer.New(seed)
+		e, err := dbms.New(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range g.SchemaSQL(3, 30) {
+			if _, err := e.Execute(s); err != nil {
+				return nil, fmt.Errorf("bench: campaign corpus %s: %w", name, err)
+			}
+		}
+		if err := e.Analyze(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out, err := e.Explain(g.Query(), e.DefaultFormat())
+			if err != nil {
+				return nil, fmt.Errorf("bench: campaign corpus %s q%d: %w", name, i+1, err)
+			}
+			recs = append(recs, pipeline.Record{Dialect: name, Serialized: out})
+		}
+	}
+	return recs, nil
+}
+
+// Corpus is the full mixed benchmark corpus: TPC-H (plus YCSB/WDBench)
+// across all nine dialects interleaved with the bug-campaign stream, so
+// consecutive records rarely share a dialect — the worst case for
+// converter reuse.
+func Corpus(seed int64) ([]pipeline.Record, error) {
+	tpch, err := TPCHCorpus(seed)
+	if err != nil {
+		return nil, err
+	}
+	campaign, err := BugCampaignCorpus(seed, 22)
+	if err != nil {
+		return nil, err
+	}
+	var recs []pipeline.Record
+	for len(tpch) > 0 || len(campaign) > 0 {
+		if len(tpch) > 0 {
+			recs = append(recs, tpch[0])
+			tpch = tpch[1:]
+		}
+		if len(campaign) > 0 {
+			recs = append(recs, campaign[0])
+			campaign = campaign[1:]
+		}
+	}
+	return recs, nil
+}

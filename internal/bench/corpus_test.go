@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"uplan/internal/dbms"
+	"uplan/internal/pipeline"
+)
+
+func TestCorpusCoversAllNineDialects(t *testing.T) {
+	recs, err := Corpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDialect := map[string]int{}
+	for _, r := range recs {
+		perDialect[r.Dialect]++
+		if r.Serialized == "" {
+			t.Fatalf("%s: empty serialized plan", r.Dialect)
+		}
+	}
+	for _, name := range dbms.Names() {
+		if perDialect[name] < 22 {
+			t.Errorf("%s: %d records, want ≥ 22", name, perDialect[name])
+		}
+	}
+	if len(perDialect) != len(dbms.Infos) {
+		t.Errorf("corpus covers %d dialects, want %d", len(perDialect), len(dbms.Infos))
+	}
+
+	// Every record must convert cleanly through the pipeline.
+	results, stats := pipeline.ConvertBatch(recs, pipeline.Options{Workers: 4})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v\ninput:\n%.200s", r.Record.Dialect, r.Err, r.Record.Serialized)
+		}
+	}
+	if stats.Errors != 0 || stats.Converted != len(recs) {
+		t.Errorf("stats = %d converted, %d errors over %d records",
+			stats.Converted, stats.Errors, len(recs))
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := Corpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between identically-seeded corpora", i)
+		}
+	}
+}

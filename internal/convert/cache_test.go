@@ -1,0 +1,85 @@
+package convert
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestDialectsSorted(t *testing.T) {
+	ds := Dialects()
+	if len(ds) != len(converters) {
+		t.Fatalf("Dialects() = %v, want %d entries", ds, len(converters))
+	}
+	if !sort.StringsAreSorted(ds) {
+		t.Errorf("Dialects() not sorted: %v", ds)
+	}
+}
+
+func TestCachedReturnsSharedConverter(t *testing.T) {
+	a, err := Cached("postgresql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached("PostgreSQL") // case-insensitive key
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Cached built a second converter for the same dialect")
+	}
+	if _, err := Cached("oracle"); err == nil {
+		t.Error("unknown dialect must fail")
+	}
+}
+
+// TestCachedConcurrent races many goroutines through cache population and
+// conversion (meaningful under -race).
+func TestCachedConcurrent(t *testing.T) {
+	const input = `Seq Scan on t0  (cost=0.00..35.50 rows=2550 width=4)
+  Filter: (c0 < 100)
+`
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, d := range Dialects() {
+					if _, err := Cached(d); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				c, err := Cached("postgresql")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				plan, err := c.Convert(input)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if plan.Root.Op.Name != "Full Table Scan" {
+					t.Errorf("root = %v", plan.Root.Op)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSharedRegistryExtensionVisible pins the documented semantics: an
+// extension of the shared registry is visible through cached converters.
+func TestSharedRegistryExtensionVisible(t *testing.T) {
+	reg := SharedRegistry()
+	if reg != SharedRegistry() {
+		t.Fatal("SharedRegistry must return one instance")
+	}
+	op := reg.ResolveOperation("postgresql", "Seq Scan")
+	if op.Name != "Full Table Scan" {
+		t.Fatalf("shared registry unpopulated: %v", op)
+	}
+}

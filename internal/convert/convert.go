@@ -8,8 +8,10 @@ package convert
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"uplan/internal/core"
 )
@@ -49,23 +51,72 @@ func For(dialect string, reg *core.Registry) (Converter, error) {
 	return mk(reg), nil
 }
 
-// Dialects lists the supported dialect keys.
+// Dialects lists the supported dialect keys in sorted order.
 func Dialects() []string {
 	out := make([]string, 0, len(converters))
 	for k := range converters {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // Convert is a convenience wrapper: one-shot conversion with the default
-// registry.
+// registry. It builds a fresh registry and converter per call; hot paths
+// should use Cached (single plans) or internal/pipeline (batches).
 func Convert(dialect, serialized string) (*core.Plan, error) {
 	c, err := For(dialect, nil)
 	if err != nil {
 		return nil, err
 	}
 	return c.Convert(serialized)
+}
+
+// ----------------------------------------------------- cached converters
+
+var (
+	sharedRegOnce sync.Once
+	sharedReg     *core.Registry
+
+	cacheMu sync.RWMutex
+	cache   = map[string]Converter{}
+)
+
+// SharedRegistry returns the lazily-built process-wide default registry
+// backing the Cached converters. Extending it (AddOperation,
+// AliasOperation, …) immediately affects every cached converter; callers
+// needing isolation should pair For with their own registry instead.
+func SharedRegistry() *core.Registry {
+	sharedRegOnce.Do(func() { sharedReg = core.DefaultRegistry() })
+	return sharedReg
+}
+
+// Cached returns the process-wide shared converter for a dialect, backed
+// by SharedRegistry. Converters hold no per-conversion state and the
+// registry is internally synchronized, so the returned converter is safe
+// for concurrent use. This is the fast path behind the uplan facade: it
+// avoids rebuilding the default registry (hundreds of keyword and alias
+// insertions) on every conversion.
+func Cached(dialect string) (Converter, error) {
+	key := strings.ToLower(dialect)
+	cacheMu.RLock()
+	c, ok := cache[key]
+	cacheMu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	c, err := For(key, SharedRegistry())
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	if prior, ok := cache[key]; ok {
+		c = prior // another goroutine won the build race; share its converter
+	} else {
+		cache[key] = c
+	}
+	cacheMu.Unlock()
+	return c, nil
 }
 
 // ------------------------------------------------------------ shared bits

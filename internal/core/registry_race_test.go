@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDefaultRegistryConcurrentConstruction builds registries from many
+// goroutines at once (meaningful under -race): construction must not
+// share mutable state across instances.
+func TestDefaultRegistryConcurrentConstruction(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := DefaultRegistry()
+			if op := r.ResolveOperation("tidb", "TableFullScan"); op.Name != "Full Table Scan" {
+				t.Errorf("resolve = %v", op)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRegistryConcurrentReadersAndWriters exercises one shared registry
+// with concurrent resolvers and extenders, the access pattern of a
+// conversion pipeline running while a client registers new keywords (the
+// paper's "LLM Join" extensibility scenario, live).
+func TestRegistryConcurrentReadersAndWriters(t *testing.T) {
+	r := DefaultRegistry()
+	var wg sync.WaitGroup
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.ResolveOperation("postgresql", "Seq Scan")
+				r.ResolveProperty("tidb", "estRows")
+				r.Operations()
+				r.Version()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("Custom Op %d-%d", g, i)
+				r.AddOperation(name, Join, "concurrently added")
+				if err := r.AliasOperation("postgresql", name+" native", name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if op := r.ResolveOperation("postgresql", "Custom Op 0-0 native"); op.Name != "Custom Op 0-0" {
+		t.Errorf("concurrently added alias lost: %v", op)
+	}
+}

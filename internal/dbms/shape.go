@@ -91,7 +91,7 @@ func appendSubplans(e *Engine, n *explain.Node, op *planner.PhysOp,
 	stats map[*planner.PhysOp]*exec.OpStats,
 	shape func(op *planner.PhysOp) *explain.Node) {
 	for _, sp := range op.Subplans {
-		n.Children = append(n.Children, shape(sp))
+		n.Children = append(n.Children, shape(sp.Plan))
 	}
 }
 

@@ -250,7 +250,7 @@ func shapeSQLite(e *Engine, root *planner.PhysOp, stats map[*planner.PhysOp]*exe
 			}
 			for _, sp := range op.Subplans {
 				sub := explain.NewNode("CORRELATED SCALAR SUBQUERY")
-				sub.Children = shapeQuery(sp)
+				sub.Children = shapeQuery(sp.Plan)
 				nodes = append(nodes, sub)
 			}
 			return nodes

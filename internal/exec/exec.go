@@ -81,8 +81,8 @@ func (ex *Executor) Run(plan *planner.PhysOp) (*Result, error) {
 	ex.subplans = map[*sql.Select]*planner.PhysOp{}
 	ex.subCache = map[*sql.Select][][]datum.D{}
 	plan.Walk(func(op *planner.PhysOp, _ int) {
-		for sel, sp := range op.Subplans {
-			ex.subplans[sel] = sp
+		for _, sp := range op.Subplans {
+			ex.subplans[sp.Sel] = sp.Plan
 		}
 	})
 	rows, err := ex.run(plan, nil)

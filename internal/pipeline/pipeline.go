@@ -1,0 +1,273 @@
+// Package pipeline implements UPlan's concurrent batch-conversion
+// subsystem: a worker-pool fan-out that consumes a stream of (dialect,
+// serialized-plan) records over bounded channels, converts each record to
+// the unified representation, and aggregates per-dialect statistics
+// (throughput, parse errors, merged operation histograms).
+//
+// Two entry points:
+//
+//   - ConvertBatch converts a slice of records and returns results indexed
+//     like the input plus the aggregate stats — the corpus-at-once API.
+//   - New returns a streaming Pipeline: Submit records from any number of
+//     goroutines, read Results as they complete (optionally in submission
+//     order), Close once every Submit has returned, then read Stats.
+//
+// Each worker keeps one converter per dialect for its lifetime, and all
+// workers share a single registry, so a batch of n records performs n
+// parses — not n registry constructions, which is what the one-shot
+// convert.Convert path costs.
+package pipeline
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"uplan/internal/convert"
+	"uplan/internal/core"
+)
+
+// Record is one unit of work: a serialized plan tagged with its dialect.
+type Record struct {
+	// Dialect is the engine key ("postgresql", …); case-insensitive.
+	Dialect string
+	// Serialized is the native EXPLAIN output to convert.
+	Serialized string
+}
+
+// Result pairs a record with its conversion outcome. Exactly one of Plan
+// and Err is non-nil.
+type Result struct {
+	// Seq is the record's 0-based submission sequence number. ConvertBatch
+	// results are indexed by it; streaming ordered mode emits in Seq order.
+	Seq    int
+	Record Record
+	Plan   *core.Plan
+	Err    error
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// Workers is the number of concurrent conversion workers.
+	// Non-positive values use GOMAXPROCS.
+	Workers int
+	// Buffer is the capacity of the bounded input and output channels.
+	// Non-positive values use 2×Workers.
+	Buffer int
+	// Ordered, when true, emits results in submission (Seq) order; a small
+	// reorder buffer holds results that complete ahead of their turn.
+	// When false, results are emitted as workers finish them.
+	Ordered bool
+	// Registry backs the workers' converters. Nil uses the process-wide
+	// shared default registry (convert.SharedRegistry).
+	Registry *core.Registry
+}
+
+// withDefaults resolves zero values to the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 2 * o.Workers
+	}
+	return o
+}
+
+// job is a sequenced record travelling from Submit to a worker.
+type job struct {
+	seq int
+	rec Record
+}
+
+// Pipeline is a running worker pool. Create with New; the zero value is
+// not usable.
+type Pipeline struct {
+	opts Options
+
+	seqMu sync.Mutex
+	seq   int
+
+	in  chan job
+	out chan Result
+
+	workers sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+	start   time.Time
+}
+
+// New starts a pipeline's workers and returns it. The caller must consume
+// Results (the output channel is bounded; workers block when it fills)
+// and must Close the pipeline once every Submit has returned.
+func New(opts Options) *Pipeline {
+	opts = opts.withDefaults()
+	p := &Pipeline{
+		opts:  opts,
+		in:    make(chan job, opts.Buffer),
+		out:   make(chan Result, opts.Buffer),
+		start: time.Now(),
+	}
+	p.stats.Dialects = map[string]*DialectStats{}
+
+	reg := opts.Registry
+	if reg == nil {
+		reg = convert.SharedRegistry()
+	}
+
+	// Workers send to sink; the closer routes sink into out, reordering
+	// when requested.
+	sink := p.out
+	if opts.Ordered {
+		sink = make(chan Result, opts.Buffer)
+		go p.reorder(sink)
+	}
+	p.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go p.worker(reg, sink)
+	}
+	go func() {
+		p.workers.Wait()
+		p.statsMu.Lock()
+		p.stats.Elapsed = time.Since(p.start)
+		p.statsMu.Unlock()
+		// In ordered mode closing sink ends the reorder goroutine, which
+		// flushes and closes out; otherwise sink is out.
+		close(sink)
+	}()
+	return p
+}
+
+// Submit enqueues one record and returns its sequence number, blocking
+// while the input buffer is full. Submit is safe for concurrent use from
+// multiple goroutines; calling it after Close panics.
+func (p *Pipeline) Submit(rec Record) int {
+	p.seqMu.Lock()
+	seq := p.seq
+	p.seq++
+	p.seqMu.Unlock()
+	p.in <- job{seq: seq, rec: rec}
+	return seq
+}
+
+// Close signals that no further records will be submitted. It must be
+// called exactly once, after every Submit has returned; workers drain the
+// remaining input and then the Results channel closes.
+func (p *Pipeline) Close() { close(p.in) }
+
+// Results returns the output channel. It closes after Close once every
+// submitted record's result has been emitted.
+func (p *Pipeline) Results() <-chan Result { return p.out }
+
+// Stats returns a snapshot of the aggregate statistics. Workers fold
+// their local aggregates in when they finish, so the snapshot is complete
+// once Results has closed (or been fully drained); mid-run it only
+// reflects workers that have already exited.
+func (p *Pipeline) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats.clone()
+}
+
+// worker converts jobs until the input closes. It builds at most one
+// converter per dialect for its lifetime and aggregates stats locally,
+// merging them into the pipeline once on exit so the shared mutex is
+// touched once per worker, not once per record.
+func (p *Pipeline) worker(reg *core.Registry, sink chan<- Result) {
+	defer p.workers.Done()
+
+	type entry struct {
+		conv convert.Converter
+		err  error
+	}
+	convs := map[string]*entry{}
+	local := map[string]*DialectStats{}
+
+	for j := range p.in {
+		key := strings.ToLower(j.rec.Dialect)
+		e, ok := convs[key]
+		if !ok {
+			c, err := convert.For(key, reg)
+			e = &entry{conv: c, err: err}
+			convs[key] = e
+		}
+
+		res := Result{Seq: j.seq, Record: j.rec}
+		if e.err != nil {
+			res.Err = e.err
+		} else {
+			res.Plan, res.Err = e.conv.Convert(j.rec.Serialized)
+		}
+
+		ds := local[key]
+		if ds == nil {
+			ds = &DialectStats{Dialect: key, Operations: core.CategoryHistogram{}}
+			local[key] = ds
+		}
+		ds.Records++
+		if res.Err != nil {
+			ds.Errors++
+			if ds.FirstError == nil {
+				ds.FirstError = res.Err
+			}
+		} else {
+			ds.Converted++
+			for cat, n := range res.Plan.Histogram() {
+				ds.Operations[cat] += n
+			}
+		}
+		sink <- res
+	}
+
+	p.statsMu.Lock()
+	for key, ds := range local {
+		p.stats.merge(key, ds)
+	}
+	p.statsMu.Unlock()
+}
+
+// reorder buffers out-of-order results and releases them in Seq order.
+// Sequence numbers are dense (every Submit produces exactly one result),
+// so the pending map fully drains by the time in closes.
+func (p *Pipeline) reorder(in <-chan Result) {
+	pending := map[int]Result{}
+	next := 0
+	for r := range in {
+		pending[r.Seq] = r
+		for {
+			nr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			p.out <- nr
+		}
+	}
+	close(p.out)
+}
+
+// ConvertBatch converts records through a temporary pipeline and returns
+// the results indexed like the input (results[i] is records[i]'s outcome)
+// plus the aggregate statistics. Per-record failures — unknown dialects,
+// malformed plans — are reported in the matching Result.Err and counted
+// in the stats; they do not stop the batch.
+func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
+	// Results land at their sequence index, so the reorder buffer of
+	// ordered mode would be pure overhead here.
+	opts.Ordered = false
+	p := New(opts)
+	go func() {
+		for _, r := range records {
+			p.Submit(r)
+		}
+		p.Close()
+	}()
+	out := make([]Result, len(records))
+	for r := range p.Results() {
+		out[r.Seq] = r
+	}
+	return out, p.Stats()
+}

@@ -1,0 +1,385 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/dbms"
+)
+
+// fixtures generates one serialized plan per engine (default format) over
+// a small shared schema.
+func fixtures(t testing.TB) []Record {
+	t.Helper()
+	const q = "SELECT t0.c2, COUNT(*) FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c1 > 5 GROUP BY t0.c2"
+	var recs []Record
+	for _, name := range dbms.Names() {
+		e := dbms.MustNew(name)
+		for _, s := range []string{
+			"CREATE TABLE t0 (c0 INT PRIMARY KEY, c1 INT, c2 TEXT)",
+			"CREATE TABLE t1 (c0 INT, v TEXT)",
+			"INSERT INTO t0 VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'a')",
+			"INSERT INTO t1 VALUES (1, 'x'), (3, 'y')",
+		} {
+			if _, err := e.Execute(s); err != nil {
+				t.Fatalf("%s: seed: %v", name, err)
+			}
+		}
+		if err := e.Analyze(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Explain(q, e.DefaultFormat())
+		if err != nil {
+			t.Fatalf("%s: explain: %v", name, err)
+		}
+		recs = append(recs, Record{Dialect: name, Serialized: out})
+	}
+	return recs
+}
+
+func TestConvertBatchAllDialects(t *testing.T) {
+	recs := fixtures(t)
+	results, stats := ConvertBatch(recs, Options{Workers: 4})
+
+	if len(results) != len(recs) {
+		t.Fatalf("got %d results for %d records", len(results), len(recs))
+	}
+	for i, r := range results {
+		if r.Seq != i {
+			t.Errorf("results[%d].Seq = %d, want %d", i, r.Seq, i)
+		}
+		if r.Record.Dialect != recs[i].Dialect {
+			t.Errorf("results[%d] is for %q, want %q", i, r.Record.Dialect, recs[i].Dialect)
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", recs[i].Dialect, r.Err)
+			continue
+		}
+		if err := r.Plan.Validate(); err != nil {
+			t.Errorf("%s: invalid plan: %v", recs[i].Dialect, err)
+		}
+	}
+	if stats.Records != len(recs) || stats.Converted != len(recs) || stats.Errors != 0 {
+		t.Errorf("stats = %d/%d/%d, want %d/%d/0",
+			stats.Records, stats.Converted, stats.Errors, len(recs), len(recs))
+	}
+	if len(stats.Dialects) != len(recs) {
+		t.Errorf("stats cover %d dialects, want %d", len(stats.Dialects), len(recs))
+	}
+	if stats.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", stats.Elapsed)
+	}
+	if stats.PlansPerSec() <= 0 {
+		t.Errorf("plans/sec = %v, want > 0", stats.PlansPerSec())
+	}
+}
+
+// TestConvertBatchErrorAggregation drives batches with failures mixed in
+// and checks per-record errors and the per-dialect aggregate counts.
+func TestConvertBatchErrorAggregation(t *testing.T) {
+	good := fixtures(t)
+	pg := good[findDialect(t, good, "postgresql")]
+	mongo := good[findDialect(t, good, "mongodb")]
+
+	cases := []struct {
+		name    string
+		records []Record
+		// wantErrs marks, per input index, whether that record must fail.
+		wantErrs []bool
+		// wantDialectErrs is the expected Errors count per dialect key.
+		wantDialectErrs map[string]int
+	}{
+		{
+			name:     "empty batch",
+			records:  nil,
+			wantErrs: nil,
+		},
+		{
+			name: "unknown dialect mixed in",
+			records: []Record{
+				pg,
+				{Dialect: "oracle", Serialized: "whatever"},
+				mongo,
+			},
+			wantErrs:        []bool{false, true, false},
+			wantDialectErrs: map[string]int{"oracle": 1},
+		},
+		{
+			name: "malformed plans mixed in",
+			records: []Record{
+				pg,
+				{Dialect: "postgresql", Serialized: "complete garbage {{{"},
+				mongo,
+				{Dialect: "mongodb", Serialized: "{not json"},
+				pg,
+			},
+			wantErrs:        []bool{false, true, false, true, false},
+			wantDialectErrs: map[string]int{"postgresql": 1, "mongodb": 1},
+		},
+		{
+			name: "all failing",
+			records: []Record{
+				{Dialect: "postgresql", Serialized: ""},
+				{Dialect: "nosuchdb", Serialized: ""},
+			},
+			wantErrs:        []bool{true, true},
+			wantDialectErrs: map[string]int{"postgresql": 1, "nosuchdb": 1},
+		},
+		{
+			name: "dialect key is case-insensitive",
+			records: []Record{
+				{Dialect: "PostgreSQL", Serialized: pg.Serialized},
+			},
+			wantErrs: []bool{false},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, stats := ConvertBatch(tc.records, Options{Workers: 3})
+			if len(results) != len(tc.records) {
+				t.Fatalf("got %d results for %d records", len(results), len(tc.records))
+			}
+			wantErrTotal := 0
+			for i, wantErr := range tc.wantErrs {
+				if wantErr {
+					wantErrTotal++
+				}
+				if gotErr := results[i].Err != nil; gotErr != wantErr {
+					t.Errorf("record %d: err = %v, want failure=%v", i, results[i].Err, wantErr)
+				}
+				if wantErr && results[i].Plan != nil {
+					t.Errorf("record %d: failed record carries a plan", i)
+				}
+			}
+			if stats.Errors != wantErrTotal {
+				t.Errorf("stats.Errors = %d, want %d", stats.Errors, wantErrTotal)
+			}
+			if stats.Converted != len(tc.records)-wantErrTotal {
+				t.Errorf("stats.Converted = %d, want %d",
+					stats.Converted, len(tc.records)-wantErrTotal)
+			}
+			for dialect, want := range tc.wantDialectErrs {
+				ds := stats.Dialects[dialect]
+				if ds == nil {
+					t.Errorf("no stats for dialect %q", dialect)
+					continue
+				}
+				if ds.Errors != want {
+					t.Errorf("%s: Errors = %d, want %d", dialect, ds.Errors, want)
+				}
+				if ds.FirstError == nil {
+					t.Errorf("%s: FirstError not sampled", dialect)
+				}
+			}
+			// The rendered table must mention every dialect seen.
+			rendered := stats.String()
+			for _, r := range tc.records {
+				if !strings.Contains(rendered, strings.ToLower(r.Dialect)) {
+					t.Errorf("stats table misses %q:\n%s", r.Dialect, rendered)
+				}
+			}
+		})
+	}
+}
+
+func findDialect(t *testing.T, recs []Record, dialect string) int {
+	t.Helper()
+	for i, r := range recs {
+		if r.Dialect == dialect {
+			return i
+		}
+	}
+	t.Fatalf("no fixture for %q", dialect)
+	return -1
+}
+
+// TestPipelineOrdered checks that ordered mode emits results in
+// submission order even with many workers racing.
+func TestPipelineOrdered(t *testing.T) {
+	recs := fixtures(t)
+	p := New(Options{Workers: 8, Buffer: 2, Ordered: true})
+	const rounds = 20
+	go func() {
+		for i := 0; i < rounds; i++ {
+			for _, r := range recs {
+				p.Submit(r)
+			}
+		}
+		p.Close()
+	}()
+	next := 0
+	for r := range p.Results() {
+		if r.Seq != next {
+			t.Fatalf("got Seq %d, want %d", r.Seq, next)
+		}
+		if want := recs[next%len(recs)].Dialect; r.Record.Dialect != want {
+			t.Fatalf("Seq %d is %q, want %q", r.Seq, r.Record.Dialect, want)
+		}
+		next++
+	}
+	if next != rounds*len(recs) {
+		t.Fatalf("received %d results, want %d", next, rounds*len(recs))
+	}
+}
+
+// TestPipelineUnorderedCoversAllSeqs checks that unordered mode emits
+// exactly one result per submitted record.
+func TestPipelineUnorderedCoversAllSeqs(t *testing.T) {
+	recs := fixtures(t)
+	p := New(Options{Workers: 4, Buffer: 1})
+	const rounds = 10
+	go func() {
+		for i := 0; i < rounds; i++ {
+			for _, r := range recs {
+				p.Submit(r)
+			}
+		}
+		p.Close()
+	}()
+	seen := map[int]bool{}
+	for r := range p.Results() {
+		if seen[r.Seq] {
+			t.Fatalf("Seq %d emitted twice", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	if len(seen) != rounds*len(recs) {
+		t.Fatalf("received %d results, want %d", len(seen), rounds*len(recs))
+	}
+}
+
+// TestPipelineConcurrentSubmitters hammers one pipeline from many
+// submitting goroutines (run under -race in CI).
+func TestPipelineConcurrentSubmitters(t *testing.T) {
+	recs := fixtures(t)
+	p := New(Options{Workers: 6, Buffer: 4})
+	const (
+		submitters = 8
+		perSub     = 25
+	)
+	var wg sync.WaitGroup
+	wg.Add(submitters)
+	for s := 0; s < submitters; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				p.Submit(recs[(s+i)%len(recs)])
+			}
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		p.Close()
+	}()
+	got := 0
+	for r := range p.Results() {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Record.Dialect, r.Err)
+		}
+		got++
+	}
+	if got != submitters*perSub {
+		t.Fatalf("received %d results, want %d", got, submitters*perSub)
+	}
+	stats := p.Stats()
+	if stats.Records != submitters*perSub || stats.Errors != 0 {
+		t.Fatalf("stats = %+v, want %d records and no errors", stats, submitters*perSub)
+	}
+}
+
+// TestStatsHistogramMerge checks that per-dialect histograms equal the
+// sum of the individual plans' histograms regardless of worker count.
+func TestStatsHistogramMerge(t *testing.T) {
+	recs := fixtures(t)
+	const copies = 7
+
+	var batch []Record
+	for i := 0; i < copies; i++ {
+		batch = append(batch, recs...)
+	}
+
+	results, stats := ConvertBatch(batch, Options{Workers: 5})
+	want := map[string]core.CategoryHistogram{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Record.Dialect, r.Err)
+		}
+		h := want[r.Record.Dialect]
+		if h == nil {
+			h = core.CategoryHistogram{}
+			want[r.Record.Dialect] = h
+		}
+		for cat, n := range r.Plan.Histogram() {
+			h[cat] += n
+		}
+	}
+	for dialect, wh := range want {
+		ds := stats.Dialects[dialect]
+		if ds == nil {
+			t.Fatalf("no stats for %q", dialect)
+		}
+		if ds.Converted != copies {
+			t.Errorf("%s: Converted = %d, want %d", dialect, ds.Converted, copies)
+		}
+		for cat, n := range wh {
+			if ds.Operations[cat] != n {
+				t.Errorf("%s: histogram[%v] = %v, want %v",
+					dialect, cat, ds.Operations[cat], n)
+			}
+		}
+	}
+}
+
+// TestStatsSnapshotIsolation checks that a Stats snapshot is a deep copy.
+func TestStatsSnapshotIsolation(t *testing.T) {
+	recs := fixtures(t)
+	_, stats := ConvertBatch(recs, Options{Workers: 2})
+	snap := stats.clone()
+	for _, ds := range stats.Dialects {
+		ds.Converted = -1
+		ds.Operations[core.Producer] = -99
+	}
+	for _, ds := range snap.Dialects {
+		if ds.Converted == -1 || ds.Operations[core.Producer] == -99 {
+			t.Fatal("snapshot shares state with source")
+		}
+	}
+}
+
+// TestOptionsDefaults pins the documented zero-value behavior.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers <= 0 {
+		t.Errorf("Workers default = %d, want > 0", o.Workers)
+	}
+	if o.Buffer != 2*o.Workers {
+		t.Errorf("Buffer default = %d, want %d", o.Buffer, 2*o.Workers)
+	}
+	o = Options{Workers: 3, Buffer: 9}.withDefaults()
+	if o.Workers != 3 || o.Buffer != 9 {
+		t.Errorf("explicit options rewritten: %+v", o)
+	}
+}
+
+// BenchmarkPipelineWorkers measures pipeline throughput on the fixture
+// set at increasing worker counts.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	recs := fixtures(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, _ := ConvertBatch(recs, Options{Workers: workers})
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -102,9 +102,17 @@ type PhysOp struct {
 	// DML/DDL payloads.
 	Stmt sql.Statement
 
-	// Subplans used by subquery expressions inside Filter/Projections;
-	// keyed by the subquery's AST node.
-	Subplans map[*sql.Select]*PhysOp
+	// Subplans used by subquery expressions inside Filter/Projections, in
+	// AST discovery order. The order is part of the plan: shapers render
+	// subplans as extra children, and map iteration here used to make
+	// serialized plans differ between identical runs.
+	Subplans []Subplan
+}
+
+// Subplan pairs a subquery AST node with its planned subtree.
+type Subplan struct {
+	Sel  *sql.Select
+	Plan *PhysOp
 }
 
 // NewOp constructs an operator with unset limit.
@@ -124,7 +132,7 @@ func (p *PhysOp) Walk(fn func(op *PhysOp, depth int)) {
 			walk(c, d+1)
 		}
 		for _, sp := range op.Subplans {
-			walk(sp, d+1)
+			walk(sp.Plan, d+1)
 		}
 	}
 	walk(p, 0)

@@ -838,16 +838,18 @@ func (pl *Planner) planSubqueriesIn(op *PhysOp, exprs []sql.Expr, scope []OutCol
 			if sub == nil {
 				return true
 			}
+			for _, sp := range op.Subplans {
+				if sp.Sel == sub {
+					return true // already planned for this operator
+				}
+			}
 			refs := collectColumnRefs(sub)
 			plan, perr := pl.planSelect(sub, scope, refs)
 			if perr != nil {
 				err = perr
 				return false
 			}
-			if op.Subplans == nil {
-				op.Subplans = map[*sql.Select]*PhysOp{}
-			}
-			op.Subplans[sub] = plan
+			op.Subplans = append(op.Subplans, Subplan{Sel: sub, Plan: plan})
 			return true
 		})
 		if err != nil {

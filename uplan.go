@@ -19,6 +19,7 @@ package uplan
 import (
 	"uplan/internal/convert"
 	"uplan/internal/core"
+	"uplan/internal/pipeline"
 )
 
 // Core representation types, re-exported.
@@ -69,12 +70,62 @@ const (
 // the dialect's documented formats) into the unified representation.
 // Supported dialects: postgresql, mysql, tidb, sqlite, mongodb, neo4j,
 // sparksql, sqlserver, influxdb.
+//
+// Convert reuses a process-wide cached converter per dialect (backed by
+// one shared default registry) rather than rebuilding the registry on
+// every call, and is safe for concurrent use. For corpus-scale work, use
+// ConvertBatch or NewPipeline.
 func Convert(dialect, serialized string) (*Plan, error) {
-	return convert.Convert(dialect, serialized)
+	c, err := convert.Cached(dialect)
+	if err != nil {
+		return nil, err
+	}
+	return c.Convert(serialized)
 }
 
-// Dialects lists the dialect keys Convert accepts.
+// Dialects lists the dialect keys Convert accepts, in sorted order.
 func Dialects() []string { return convert.Dialects() }
+
+// Batch conversion types, re-exported from the pipeline subsystem.
+type (
+	// BatchRecord is one unit of batch work: a serialized plan tagged
+	// with its dialect.
+	BatchRecord = pipeline.Record
+	// BatchResult pairs a record with its conversion outcome.
+	BatchResult = pipeline.Result
+	// BatchStats aggregates a batch run: totals, wall time, and
+	// per-dialect throughput/errors/operation histograms.
+	BatchStats = pipeline.Stats
+	// DialectStats is one dialect's aggregate within BatchStats.
+	DialectStats = pipeline.DialectStats
+	// Pipeline is a streaming concurrent converter; see NewPipeline.
+	Pipeline = pipeline.Pipeline
+	// PipelineOptions configures ConvertBatch and NewPipeline: worker
+	// count, channel buffering, ordered/unordered collection, and an
+	// optional custom registry.
+	PipelineOptions = pipeline.Options
+)
+
+// ConvertBatch converts a corpus of serialized plans concurrently through
+// a worker pool and returns per-record results (indexed like the input)
+// plus aggregate statistics. Per-record failures — unknown dialects or
+// malformed plans mixed into the batch — are reported in the matching
+// BatchResult.Err and counted in the stats; they do not stop the batch.
+//
+//	records := []uplan.BatchRecord{{Dialect: "postgresql", Serialized: out}, ...}
+//	results, stats := uplan.ConvertBatch(records, uplan.PipelineOptions{Workers: 8})
+//	fmt.Println(stats) // per-dialect plans/sec, errors, operation counts
+func ConvertBatch(records []BatchRecord, opts PipelineOptions) ([]BatchResult, BatchStats) {
+	return pipeline.ConvertBatch(records, opts)
+}
+
+// NewPipeline starts a streaming conversion pipeline: Submit records from
+// any number of goroutines, consume Results as they complete (set
+// PipelineOptions.Ordered for submission order), Close once every Submit
+// has returned, then read Stats. Each worker reuses one converter per
+// dialect, so a long-lived pipeline amortizes converter construction
+// across the whole stream.
+func NewPipeline(opts PipelineOptions) *Pipeline { return pipeline.New(opts) }
 
 // ParseText parses a unified plan from its text serialization (either the
 // strict EBNF form or the indented human-readable form).
@@ -83,7 +134,16 @@ func ParseText(s string) (*Plan, error) { return core.ParseText(s) }
 // ParseJSON parses a unified plan from its JSON serialization.
 func ParseJSON(data []byte) (*Plan, error) { return core.ParseJSON(data) }
 
-// DefaultRegistry returns the built-in naming registry covering the nine
-// studied DBMSs. Extend it with AddOperation/AliasOperation to support
-// additional systems (Section IV-B's extensibility contract).
+// DefaultRegistry returns a fresh copy of the built-in naming registry
+// covering the nine studied DBMSs. Each call builds a new instance, so
+// extending it does NOT affect Convert or ConvertBatch — pass the
+// extended registry via PipelineOptions.Registry, or extend
+// SharedRegistry instead.
 func DefaultRegistry() *Registry { return core.DefaultRegistry() }
+
+// SharedRegistry returns the process-wide registry backing Convert's and
+// ConvertBatch's cached converters. Extend it with
+// AddOperation/AliasOperation to make every subsequent conversion
+// recognize a new system's vocabulary (Section IV-B's extensibility
+// contract, live). The registry is safe for concurrent use.
+func SharedRegistry() *Registry { return convert.SharedRegistry() }

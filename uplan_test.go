@@ -1,7 +1,9 @@
 package uplan
 
 import (
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -32,8 +34,95 @@ func TestFacadeDialects(t *testing.T) {
 	if len(ds) != 9 {
 		t.Errorf("dialects = %v", ds)
 	}
+	if !sort.StringsAreSorted(ds) {
+		t.Errorf("Dialects() not sorted: %v", ds)
+	}
 	if _, err := Convert("oracle", "x"); err == nil {
 		t.Error("unknown dialect must fail")
+	}
+}
+
+// TestFacadeConvertConcurrent hammers the cached-converter path from many
+// goroutines (meaningful under -race): results must match the sequential
+// ones and the shared converters must tolerate concurrent use.
+func TestFacadeConvertConcurrent(t *testing.T) {
+	want, err := Convert("postgresql", pgPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := Convert("postgresql", pgPlan)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !got.Equal(want) {
+					t.Error("concurrent conversion diverged from sequential result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFacadeConvertBatch exercises the batch API end to end through the
+// facade, including an injected failure.
+func TestFacadeConvertBatch(t *testing.T) {
+	records := []BatchRecord{
+		{Dialect: "postgresql", Serialized: pgPlan},
+		{Dialect: "oracle", Serialized: "unsupported"},
+		{Dialect: "postgresql", Serialized: pgPlan},
+	}
+	results, stats := ConvertBatch(records, PipelineOptions{Workers: 2})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("valid records failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unknown dialect must fail")
+	}
+	if stats.Converted != 2 || stats.Errors != 1 {
+		t.Errorf("stats = %d converted, %d errors", stats.Converted, stats.Errors)
+	}
+	if results[0].Plan.Root.Op.Name != "Full Table Scan" {
+		t.Errorf("root = %v", results[0].Plan.Root.Op)
+	}
+}
+
+// TestFacadePipelineStreaming drives the streaming API: ordered results
+// over a bounded pipeline.
+func TestFacadePipelineStreaming(t *testing.T) {
+	p := NewPipeline(PipelineOptions{Workers: 4, Ordered: true})
+	const n = 40
+	go func() {
+		for i := 0; i < n; i++ {
+			p.Submit(BatchRecord{Dialect: "postgresql", Serialized: pgPlan})
+		}
+		p.Close()
+	}()
+	got := 0
+	for r := range p.Results() {
+		if r.Seq != got {
+			t.Fatalf("Seq %d out of order (want %d)", r.Seq, got)
+		}
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("received %d results, want %d", got, n)
+	}
+	if s := p.Stats(); s.Converted != n {
+		t.Errorf("stats.Converted = %d, want %d", s.Converted, n)
 	}
 }
 
@@ -70,6 +159,25 @@ func TestFacadeRegistry(t *testing.T) {
 	}
 	if !strings.Contains(plan4Categories(), "Producer") {
 		t.Error("categories missing")
+	}
+}
+
+// TestFacadeSharedRegistryExtension pins the documented extensibility
+// path: extending SharedRegistry is visible through Convert's cached
+// converters.
+func TestFacadeSharedRegistryExtension(t *testing.T) {
+	reg := SharedRegistry()
+	reg.AddOperation("LLM Join", Join, "the paper's extensibility example")
+	if err := reg.AliasOperation("postgresql", "LLM Join Probe", "LLM Join"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Convert("postgresql",
+		"LLM Join Probe  (cost=0.00..1.00 rows=1 width=4)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.Op.Name != "LLM Join" || plan.Root.Op.Category != Join {
+		t.Errorf("extension not visible through Convert: %v", plan.Root.Op)
 	}
 }
 
