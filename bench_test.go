@@ -347,6 +347,7 @@ func BenchmarkConvertPostgresText(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := convert.Convert("postgresql", raw); err != nil {

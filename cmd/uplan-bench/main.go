@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch] [-parallel N]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch] [-parallel N] [-out FILE]
 //
 // -parallel N runs the batch experiment through the conversion pipeline
 // with N workers and reports the speedup over the sequential one-shot
 // path; -parallel 0 (the default) reports the sequential path only.
+// -out FILE additionally writes the batch experiment's throughput and
+// speedup numbers as JSON (see BENCH_batch.json for the committed
+// snapshots that record the perf trajectory across PRs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,16 +29,42 @@ import (
 	"uplan/internal/pipeline"
 )
 
+// batchResult is the machine-readable outcome of the batch experiment,
+// written by -out.
+type batchResult struct {
+	Experiment    string  `json:"experiment"`
+	Seed          int64   `json:"seed"`
+	CorpusRecords int     `json:"corpus_records"`
+	Sequential    pathRun `json:"sequential"`
+	Cached        pathRun `json:"sequential_cached"`
+	// Pipeline is present when -parallel > 0.
+	Pipeline        *pipeline.Report `json:"pipeline,omitempty"`
+	Workers         int              `json:"workers,omitempty"`
+	SpeedupVsSeq    float64          `json:"speedup_vs_sequential,omitempty"`
+	SpeedupVsCached float64          `json:"speedup_vs_sequential_cached,omitempty"`
+}
+
+// pathRun records one conversion strategy's throughput.
+type pathRun struct {
+	Plans       int     `json:"plans"`
+	Seconds     float64 `json:"seconds"`
+	PlansPerSec float64 `json:"plans_per_sec"`
+}
+
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
 	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch")
 	parallel := flag.Int("parallel", 0, "batch experiment: pipeline worker count (0 = sequential only)")
+	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
 	flag.Parse()
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "uplan-bench:", err)
 		os.Exit(1)
+	}
+	if *out != "" && !run("batch") {
+		fail(fmt.Errorf("-out only applies to the batch experiment (got -experiment %s)", *experiment))
 	}
 
 	if run("table6") || run("figure4") {
@@ -69,8 +99,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("== Batch conversion: %d-record mixed nine-dialect corpus ==\n", len(corpus))
+		result := batchResult{
+			Experiment:    "batch",
+			Seed:          *seed,
+			CorpusRecords: len(corpus),
+		}
 
-		// Sequential baseline: the one-shot path, which rebuilds the
+		// Sequential baseline: the one-shot path, which builds a fresh
 		// registry-backed converter for every record.
 		start := time.Now()
 		for _, r := range corpus {
@@ -80,8 +115,27 @@ func main() {
 		}
 		seqElapsed := time.Since(start)
 		seqRate := float64(len(corpus)) / seqElapsed.Seconds()
+		result.Sequential = pathRun{len(corpus), seqElapsed.Seconds(), seqRate}
 		fmt.Printf("sequential: %d plans in %.3fs (%.0f plans/s)\n",
 			len(corpus), seqElapsed.Seconds(), seqRate)
+
+		// Cached path: one shared converter per dialect, the facade's
+		// single-plan fast path.
+		start = time.Now()
+		for _, r := range corpus {
+			c, err := convert.Cached(r.Dialect)
+			if err != nil {
+				fail(err)
+			}
+			if _, err := c.Convert(r.Serialized); err != nil {
+				fail(err)
+			}
+		}
+		cachedElapsed := time.Since(start)
+		cachedRate := float64(len(corpus)) / cachedElapsed.Seconds()
+		result.Cached = pathRun{len(corpus), cachedElapsed.Seconds(), cachedRate}
+		fmt.Printf("sequential-cached: %d plans in %.3fs (%.0f plans/s)\n",
+			len(corpus), cachedElapsed.Seconds(), cachedRate)
 
 		if *parallel > 0 {
 			results, stats := pipeline.ConvertBatch(corpus,
@@ -93,6 +147,22 @@ func main() {
 			}
 			fmt.Printf("pipeline (%d workers):\n%s", *parallel, stats)
 			fmt.Printf("speedup over sequential: %.2fx\n", stats.PlansPerSec()/seqRate)
+			report := stats.Report()
+			result.Pipeline = &report
+			result.Workers = *parallel
+			result.SpeedupVsSeq = stats.PlansPerSec() / seqRate
+			result.SpeedupVsCached = stats.PlansPerSec() / cachedRate
+		}
+		if *out != "" {
+			data, err := json.MarshalIndent(result, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
 		}
 		fmt.Println()
 	}

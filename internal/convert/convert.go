@@ -93,10 +93,11 @@ func SharedRegistry() *core.Registry {
 
 // Cached returns the process-wide shared converter for a dialect, backed
 // by SharedRegistry. Converters hold no per-conversion state and the
-// registry is internally synchronized, so the returned converter is safe
-// for concurrent use. This is the fast path behind the uplan facade: it
-// avoids rebuilding the default registry (hundreds of keyword and alias
-// insertions) on every conversion.
+// registry resolves names from an immutable lock-free snapshot, so the
+// returned converter is safe for concurrent use and scales across worker
+// goroutines without serializing on a registry lock. This is the fast
+// path behind the uplan facade: it avoids rebuilding the default registry
+// on every conversion.
 func Cached(dialect string) (Converter, error) {
 	key := strings.ToLower(dialect)
 	cacheMu.RLock()

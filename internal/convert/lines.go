@@ -1,0 +1,33 @@
+package convert
+
+import "strings"
+
+// lineIter iterates the newline-separated lines of a string in place. It
+// yields exactly the segments strings.Split(s, "\n") would — including a
+// final empty segment when the input ends with a newline — but without
+// allocating the backing []string, which every text-format converter used
+// to pay once per plan.
+type lineIter struct {
+	rest string
+	line string
+	n    int
+	done bool
+}
+
+func newLineIter(s string) lineIter { return lineIter{rest: s} }
+
+// next advances to the next line, reporting whether one was produced. The
+// current line is in line; n is its 1-based line number.
+func (it *lineIter) next() bool {
+	if it.done {
+		return false
+	}
+	if i := strings.IndexByte(it.rest, '\n'); i >= 0 {
+		it.line = it.rest[:i]
+		it.rest = it.rest[i+1:]
+	} else {
+		it.line, it.rest, it.done = it.rest, "", true
+	}
+	it.n++
+	return true
+}

@@ -197,7 +197,8 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 		indent int
 	}
 	var stack []frame
-	for _, raw := range strings.Split(s, "\n") {
+	for it := newLineIter(s); it.next(); {
+		raw := it.line
 		if strings.TrimSpace(raw) == "" || strings.TrimSpace(raw) == "- Plan:" {
 			continue
 		}
@@ -705,8 +706,8 @@ func (c *sqlserverConverter) convertText(s string) (*core.Plan, error) {
 		depth int
 	}
 	var stack []frame
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimRight(raw, " ")
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimRight(it.line, " ")
 		t := strings.TrimSpace(line)
 		if t == "" || t == "StmtText" || strings.HasPrefix(t, "---") {
 			continue

@@ -41,7 +41,8 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 	}
 	var stack []frame
 	sawTree := false
-	for lineNo, raw := range strings.Split(s, "\n") {
+	for it := newLineIter(s); it.next(); {
+		raw := it.line
 		if strings.TrimSpace(raw) == "" {
 			continue
 		}
@@ -58,14 +59,14 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 			}
 			node, err := c.parseNodeLine(strings.TrimSpace(text))
 			if err != nil {
-				return nil, fmt.Errorf("convert: line %d: %w", lineNo+1, err)
+				return nil, fmt.Errorf("convert: line %d: %w", it.n, err)
 			}
 			for len(stack) > 0 && stack[len(stack)-1].col >= nameCol {
 				stack = stack[:len(stack)-1]
 			}
 			if len(stack) == 0 {
 				if plan.Root != nil {
-					return nil, fmt.Errorf("convert: line %d: multiple root operators", lineNo+1)
+					return nil, fmt.Errorf("convert: line %d: multiple root operators", it.n)
 				}
 				plan.Root = node
 			} else {
@@ -78,13 +79,13 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 			// Plan-level property ("Planning Time: 0.124 ms").
 			key, val, ok := splitKV(raw)
 			if !ok {
-				return nil, fmt.Errorf("convert: line %d: unparseable plan line %q", lineNo+1, raw)
+				return nil, fmt.Errorf("convert: line %d: unparseable plan line %q", it.n, raw)
 			}
 			addPlanProp(c.reg, "postgresql", plan, key, strings.TrimSuffix(val, " ms"))
 		default:
 			// Node property line; belongs to the deepest open node.
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("convert: line %d: property before any operator", lineNo+1)
+				return nil, fmt.Errorf("convert: line %d: property before any operator", it.n)
 			}
 			key, val, ok := splitKV(raw)
 			if !ok {
@@ -232,7 +233,8 @@ func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
 		depth int
 	}
 	var stack []frame
-	for lineNo, raw := range strings.Split(s, "\n") {
+	for it := newLineIter(s); it.next(); {
+		raw := it.line
 		if strings.TrimSpace(raw) == "" {
 			continue
 		}
@@ -248,7 +250,7 @@ func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
 		}
 		if len(stack) == 0 {
 			if plan.Root != nil {
-				return nil, fmt.Errorf("convert: line %d: multiple MySQL roots", lineNo+1)
+				return nil, fmt.Errorf("convert: line %d: multiple MySQL roots", it.n)
 			}
 			plan.Root = node
 		} else {
@@ -374,8 +376,8 @@ func parseAlignedTable(s string) ([][]string, []string, error) {
 	var spans [][2]int
 	var header []string
 	var rows [][]string
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimRight(raw, " \r")
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimRight(it.line, " \r")
 		if line == "" {
 			continue
 		}
@@ -430,18 +432,24 @@ func parseAlignedTable(s string) ([][]string, []string, error) {
 func parseASCIITable(s string) ([][]string, []string, error) {
 	var header []string
 	var rows [][]string
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimSpace(raw)
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimSpace(it.line)
 		if line == "" || strings.HasPrefix(line, "+") {
 			continue
 		}
 		if !strings.HasPrefix(line, "|") {
 			continue
 		}
-		parts := strings.Split(line, "|")
+		// Walk the "|"-separated cells in place; the segment after the last
+		// "|" (usually empty) is dropped, as strings.Split-and-trim did.
 		var cells []string
-		for _, p := range parts[1 : len(parts)-1] {
-			cells = append(cells, strings.TrimSpace(p))
+		for rest := line[1:]; ; {
+			i := strings.IndexByte(rest, '|')
+			if i < 0 {
+				break
+			}
+			cells = append(cells, strings.TrimSpace(rest[:i]))
+			rest = rest[i+1:]
 		}
 		if header == nil {
 			header = cells
@@ -589,8 +597,8 @@ func (c *sqliteConverter) Convert(s string) (*core.Plan, error) {
 	}
 	var stack []frame
 	virtualRoot := &core.Node{}
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimRight(raw, " ")
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimRight(it.line, " ")
 		if strings.TrimSpace(line) == "" || strings.TrimSpace(line) == "QUERY PLAN" {
 			continue
 		}
@@ -694,8 +702,8 @@ func (c *sparkConverter) Convert(s string) (*core.Plan, error) {
 		depth int
 	}
 	var stack []frame
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimRight(raw, " ")
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimRight(it.line, " ")
 		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "== ") {
 			continue
 		}
@@ -754,7 +762,8 @@ func (c *neo4jConverter) Convert(s string) (*core.Plan, error) {
 func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
 	plan := &core.Plan{Source: "neo4j"}
 	var tableLines []string
-	for _, raw := range strings.Split(s, "\n") {
+	for it := newLineIter(s); it.next(); {
+		raw := it.line
 		line := strings.TrimSpace(raw)
 		switch {
 		case strings.HasPrefix(line, "Planner "):
@@ -836,8 +845,8 @@ func (c *influxConverter) Dialect() string { return "influxdb" }
 
 func (c *influxConverter) Convert(s string) (*core.Plan, error) {
 	plan := &core.Plan{Source: "influxdb"}
-	for _, raw := range strings.Split(s, "\n") {
-		line := strings.TrimSpace(raw)
+	for it := newLineIter(s); it.next(); {
+		line := strings.TrimSpace(it.line)
 		if line == "" {
 			continue
 		}

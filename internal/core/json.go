@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
 )
 
 // This file implements the structured JSON format of the unified query plan
@@ -85,26 +87,50 @@ func propsToJSON(props []Property) []jsonProperty {
 	}
 	out := make([]jsonProperty, 0, len(props))
 	for _, pr := range props {
-		raw, _ := json.Marshal(valueToAny(pr.Value))
 		out = append(out, jsonProperty{
 			Category: string(pr.Category),
 			Name:     pr.Name,
-			Value:    raw,
+			Value:    valueToRaw(pr.Value),
 		})
 	}
 	return out
 }
 
-func valueToAny(v Value) any {
+// valueToRaw encodes a scalar Value as raw JSON without boxing it through
+// an interface and the reflective encoder. Strings still go through
+// json.Marshal for correct escaping; non-finite numbers degrade to empty
+// raw (decoded as null), matching the old swallowed-error behavior.
+func valueToRaw(v Value) json.RawMessage {
 	switch v.Kind {
 	case KindString:
-		return v.Str
+		raw, _ := json.Marshal(v.Str)
+		return raw
 	case KindNumber:
-		return v.Num
+		if math.IsNaN(v.Num) || math.IsInf(v.Num, 0) {
+			return nil
+		}
+		// Mirror encoding/json's float encoding byte-for-byte: 'f' form in
+		// the human range, 'e' with a compacted exponent outside it.
+		abs := math.Abs(v.Num)
+		format := byte('f')
+		if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+			format = 'e'
+		}
+		b := strconv.AppendFloat(nil, v.Num, format, -1, 64)
+		if format == 'e' {
+			if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+				b[n-2] = b[n-1]
+				b = b[:n-1]
+			}
+		}
+		return b
 	case KindBool:
-		return v.Bool
+		if v.Bool {
+			return json.RawMessage("true")
+		}
+		return json.RawMessage("false")
 	default:
-		return nil
+		return json.RawMessage("null")
 	}
 }
 

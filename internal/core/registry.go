@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 )
 
 // Registry implements the unified naming convention of Section IV-A: it maps
@@ -14,16 +17,52 @@ import (
 // (the paper's "LLM Join" example) is a single AddOperation call and keeps
 // both forward and backward compatibility for applications.
 //
-// A Registry is safe for concurrent use.
+// A Registry is safe for concurrent use. Writers serialize on a mutex and
+// publish an immutable resolution snapshot through an atomic pointer;
+// ResolveOperation and ResolveProperty — the conversion hot path — read
+// only that snapshot, so they are lock-free and allocation-free on every
+// alias and unified-name hit.
 type Registry struct {
-	mu         sync.RWMutex
-	version    int
+	mu      sync.Mutex
+	version int
+	// shared marks base maps borrowed from the DefaultRegistry template;
+	// the first mutation copies them (copy-on-write), so cloning the large
+	// default vocabulary costs a few pointer copies, not hundreds of
+	// inserts.
+	shared     bool
 	operations map[string]OperationDef // unified name → definition
 	properties map[string]PropertyDef  // unified name → definition
 	// aliases index DBMS-specific names: dialect → lower(native name) →
 	// unified name.
 	opAliases   map[string]map[string]string
 	propAliases map[string]map[string]string
+
+	// snap is the immutable resolution index rebuilt by writers. Readers
+	// load it once per resolution and never touch the base maps.
+	snap atomic.Pointer[snapshot]
+}
+
+// snapshot is the immutable, pre-case-folded resolution index. Per-dialect
+// maps merge the dialect's aliases over the unified vocabulary (aliases
+// win), so one map probe answers what previously took an alias lookup plus
+// an O(vocabulary) EqualFold scan. All keys are lower-case; values are
+// interned once at build time.
+type snapshot struct {
+	version int
+	// opIndex: dialect → folded name → operation (aliases ∪ unified names).
+	opIndex map[string]map[string]Operation
+	// opGlobal: folded unified name → operation, for dialects without
+	// registered aliases.
+	opGlobal map[string]Operation
+
+	propIndex  map[string]map[string]propEntry
+	propGlobal map[string]propEntry
+}
+
+// propEntry is an interned resolved property: unified name plus category.
+type propEntry struct {
+	name string
+	cat  PropertyCategory
 }
 
 // OperationDef describes a unified operation keyword.
@@ -46,22 +85,87 @@ type PropertyDef struct {
 
 // NewRegistry returns an empty registry at version 1.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		version:     1,
 		operations:  map[string]OperationDef{},
 		properties:  map[string]PropertyDef{},
 		opAliases:   map[string]map[string]string{},
 		propAliases: map[string]map[string]string{},
 	}
+	r.snap.Store(r.buildSnapshot())
+	return r
 }
 
 // Version returns the current grammar version. The version increments every
 // time a keyword is added or removed, modeling the forward/backward
 // compatibility discussion of Section IV-B.
 func (r *Registry) Version() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.version
+	return r.snap.Load().version
+}
+
+// ensureOwned copies base maps borrowed from the DefaultRegistry template
+// before the first mutation. Callers must hold r.mu.
+func (r *Registry) ensureOwned() {
+	if !r.shared {
+		return
+	}
+	r.shared = false
+	r.operations = maps.Clone(r.operations)
+	r.properties = maps.Clone(r.properties)
+	opAliases := make(map[string]map[string]string, len(r.opAliases))
+	for d, m := range r.opAliases {
+		opAliases[d] = maps.Clone(m)
+	}
+	r.opAliases = opAliases
+	propAliases := make(map[string]map[string]string, len(r.propAliases))
+	for d, m := range r.propAliases {
+		propAliases[d] = maps.Clone(m)
+	}
+	r.propAliases = propAliases
+}
+
+// publish rebuilds and atomically installs the resolution snapshot.
+// Callers must hold r.mu. Readers keep using the prior snapshot until the
+// store; they observe either the old or the new index, never a torn one.
+func (r *Registry) publish() {
+	r.snap.Store(r.buildSnapshot())
+}
+
+func (r *Registry) buildSnapshot() *snapshot {
+	s := &snapshot{
+		version:    r.version,
+		opGlobal:   make(map[string]Operation, len(r.operations)),
+		propGlobal: make(map[string]propEntry, len(r.properties)),
+		opIndex:    make(map[string]map[string]Operation, len(r.opAliases)),
+		propIndex:  make(map[string]map[string]propEntry, len(r.propAliases)),
+	}
+	for name, def := range r.operations {
+		s.opGlobal[strings.ToLower(name)] = Operation{Category: def.Category, Name: def.Name}
+	}
+	for dialect, aliases := range r.opAliases {
+		m := make(map[string]Operation, len(s.opGlobal)+len(aliases))
+		maps.Copy(m, s.opGlobal)
+		for native, unified := range aliases {
+			if def, ok := r.operations[unified]; ok {
+				m[native] = Operation{Category: def.Category, Name: def.Name}
+			}
+		}
+		s.opIndex[dialect] = m
+	}
+	for name, def := range r.properties {
+		s.propGlobal[strings.ToLower(name)] = propEntry{name: def.Name, cat: def.Category}
+	}
+	for dialect, aliases := range r.propAliases {
+		m := make(map[string]propEntry, len(s.propGlobal)+len(aliases))
+		maps.Copy(m, s.propGlobal)
+		for native, unified := range aliases {
+			if def, ok := r.properties[unified]; ok {
+				m[native] = propEntry{name: def.Name, cat: def.Category}
+			}
+		}
+		s.propIndex[dialect] = m
+	}
+	return s
 }
 
 // AddOperation registers a unified operation keyword. Re-registering an
@@ -69,6 +173,12 @@ func (r *Registry) Version() int {
 func (r *Registry) AddOperation(name string, cat OperationCategory, doc string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.ensureOwned()
+	r.addOperationLocked(name, cat, doc)
+	r.publish()
+}
+
+func (r *Registry) addOperationLocked(name string, cat OperationCategory, doc string) {
 	r.version++
 	def, ok := r.operations[name]
 	if !ok {
@@ -87,6 +197,7 @@ func (r *Registry) RemoveOperation(name string) bool {
 	if _, ok := r.operations[name]; !ok {
 		return false
 	}
+	r.ensureOwned()
 	r.version++
 	delete(r.operations, name)
 	for _, m := range r.opAliases {
@@ -96,6 +207,7 @@ func (r *Registry) RemoveOperation(name string) bool {
 			}
 		}
 	}
+	r.publish()
 	return true
 }
 
@@ -103,6 +215,12 @@ func (r *Registry) RemoveOperation(name string) bool {
 func (r *Registry) AddProperty(name string, cat PropertyCategory, doc string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.ensureOwned()
+	r.addPropertyLocked(name, cat, doc)
+	r.publish()
+}
+
+func (r *Registry) addPropertyLocked(name string, cat PropertyCategory, doc string) {
 	r.version++
 	def, ok := r.properties[name]
 	if !ok {
@@ -119,34 +237,98 @@ func (r *Registry) AddProperty(name string, cat PropertyCategory, doc string) {
 func (r *Registry) AliasOperation(dialect, nativeName, unifiedName string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Validate before ensureOwned so a failed alias doesn't un-share a
+	// copy-on-write clone that never mutated.
+	if err := r.checkOpAliasTarget(dialect, nativeName, unifiedName); err != nil {
+		return err
+	}
+	r.ensureOwned()
+	r.setOpAliasLocked(dialect, nativeName, unifiedName)
+	r.publish()
+	return nil
+}
+
+func (r *Registry) checkOpAliasTarget(dialect, nativeName, unifiedName string) error {
 	if _, ok := r.operations[unifiedName]; !ok {
 		return fmt.Errorf("core: alias %q/%q targets unregistered operation %q",
 			dialect, nativeName, unifiedName)
 	}
+	return nil
+}
+
+func (r *Registry) setOpAliasLocked(dialect, nativeName, unifiedName string) {
 	m := r.opAliases[dialect]
 	if m == nil {
 		m = map[string]string{}
 		r.opAliases[dialect] = m
 	}
 	m[strings.ToLower(nativeName)] = unifiedName
-	return nil
 }
 
 // AliasProperty maps a DBMS-specific property name to a unified keyword.
 func (r *Registry) AliasProperty(dialect, nativeName, unifiedName string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.checkPropAliasTarget(dialect, nativeName, unifiedName); err != nil {
+		return err
+	}
+	r.ensureOwned()
+	r.setPropAliasLocked(dialect, nativeName, unifiedName)
+	r.publish()
+	return nil
+}
+
+func (r *Registry) checkPropAliasTarget(dialect, nativeName, unifiedName string) error {
 	if _, ok := r.properties[unifiedName]; !ok {
 		return fmt.Errorf("core: alias %q/%q targets unregistered property %q",
 			dialect, nativeName, unifiedName)
 	}
+	return nil
+}
+
+func (r *Registry) setPropAliasLocked(dialect, nativeName, unifiedName string) {
 	m := r.propAliases[dialect]
 	if m == nil {
 		m = map[string]string{}
 		r.propAliases[dialect] = m
 	}
 	m[strings.ToLower(nativeName)] = unifiedName
-	return nil
+}
+
+// foldedLookup probes a lower-case-keyed map with a possibly mixed-case
+// key: first verbatim (hit when the key is already folded), then folded
+// through a stack buffer so ASCII keys never touch the heap — the map
+// probe m[string(buf)] compiles without a conversion allocation.
+func foldedLookup[V any](m map[string]V, key string) (V, bool) {
+	if v, ok := m[key]; ok {
+		return v, true
+	}
+	var buf [128]byte
+	if len(key) <= len(buf) {
+		ascii, changed := true, false
+		for i := 0; i < len(key); i++ {
+			c := key[i]
+			if c >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+				changed = true
+			}
+			buf[i] = c
+		}
+		if ascii {
+			if !changed {
+				var zero V
+				return zero, false // verbatim probe above already missed
+			}
+			v, ok := m[string(buf[:len(key)])]
+			return v, ok
+		}
+	}
+	v, ok := m[strings.ToLower(key)]
+	return v, ok
 }
 
 // ResolveOperation maps a DBMS-specific operation name to its unified
@@ -155,66 +337,61 @@ func (r *Registry) AliasProperty(dialect, nativeName, unifiedName string) error 
 // the native name. The fallback implements the extensibility contract:
 // converters never fail on an unknown operation; visualization tools render
 // such operations generically.
+//
+// The read path is lock-free: it probes the current snapshot's merged
+// per-dialect index (aliases shadow unified names, preserving the
+// historical precedence) and allocates nothing on a hit.
 func (r *Registry) ResolveOperation(dialect, nativeName string) Operation {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	key := strings.ToLower(strings.TrimSpace(nativeName))
-	if m, ok := r.opAliases[dialect]; ok {
-		if unified, ok := m[key]; ok {
-			def := r.operations[unified]
-			return Operation{Category: def.Category, Name: def.Name}
+	s := r.snap.Load()
+	name := strings.TrimSpace(nativeName)
+	if m, ok := s.opIndex[dialect]; ok {
+		if op, ok := foldedLookup(m, name); ok {
+			return op
 		}
+	} else if op, ok := foldedLookup(s.opGlobal, name); ok {
+		return op
 	}
-	for name, def := range r.operations {
-		if strings.EqualFold(name, nativeName) {
-			return Operation{Category: def.Category, Name: def.Name}
-		}
-	}
-	return Operation{Category: Executor, Name: strings.TrimSpace(nativeName)}
+	return Operation{Category: Executor, Name: name}
 }
 
 // ResolveProperty maps a DBMS-specific property name to its unified
 // property name and category. Unknown properties fall back to the
 // Configuration category with the native name, for the same reason as
-// ResolveOperation's fallback.
+// ResolveOperation's fallback. Like ResolveOperation, the read path is a
+// lock-free, allocation-free snapshot probe.
 func (r *Registry) ResolveProperty(dialect, nativeName string) (string, PropertyCategory) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	key := strings.ToLower(strings.TrimSpace(nativeName))
-	if m, ok := r.propAliases[dialect]; ok {
-		if unified, ok := m[key]; ok {
-			def := r.properties[unified]
-			return def.Name, def.Category
+	s := r.snap.Load()
+	name := strings.TrimSpace(nativeName)
+	if m, ok := s.propIndex[dialect]; ok {
+		if e, ok := foldedLookup(m, name); ok {
+			return e.name, e.cat
 		}
+	} else if e, ok := foldedLookup(s.propGlobal, name); ok {
+		return e.name, e.cat
 	}
-	for name, def := range r.properties {
-		if strings.EqualFold(name, nativeName) {
-			return def.Name, def.Category
-		}
-	}
-	return strings.TrimSpace(nativeName), Configuration
+	return name, Configuration
 }
 
 // Operation returns the definition of a unified operation keyword.
 func (r *Registry) Operation(name string) (OperationDef, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	def, ok := r.operations[name]
 	return def, ok
 }
 
 // Property returns the definition of a unified property keyword.
 func (r *Registry) Property(name string) (PropertyDef, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	def, ok := r.properties[name]
 	return def, ok
 }
 
 // Operations returns all unified operation definitions sorted by name.
 func (r *Registry) Operations() []OperationDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]OperationDef, 0, len(r.operations))
 	for _, def := range r.operations {
 		out = append(out, def)
@@ -225,8 +402,8 @@ func (r *Registry) Operations() []OperationDef {
 
 // Properties returns all unified property definitions sorted by name.
 func (r *Registry) Properties() []PropertyDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]PropertyDef, 0, len(r.properties))
 	for _, def := range r.properties {
 		out = append(out, def)
@@ -238,8 +415,8 @@ func (r *Registry) Properties() []PropertyDef {
 // OperationCountByCategory returns how many unified operations exist per
 // category (the basis for reproducing paper Table II's unified vocabulary).
 func (r *Registry) OperationCountByCategory() map[OperationCategory]int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := map[OperationCategory]int{}
 	for _, def := range r.operations {
 		m[def.Category]++
@@ -247,12 +424,36 @@ func (r *Registry) OperationCountByCategory() map[OperationCategory]int {
 	return m
 }
 
+// defaultTemplate is the fully-built default vocabulary, constructed once
+// per process. DefaultRegistry hands out copy-on-write clones of it, so a
+// "fresh" default registry costs a handful of pointer copies instead of
+// replaying ~600 keyword and alias insertions; clones share the template's
+// immutable snapshot until their first mutation.
+var defaultTemplate = sync.OnceValue(buildDefaultTemplate)
+
 // DefaultRegistry returns a registry pre-populated with the unified keyword
 // set derived from the paper's study: common operation names across the nine
 // DBMSs plus their dialect aliases (e.g. PostgreSQL "Seq Scan", SQL Server
-// "Table Scan", TiDB "TableFullScan" → "Full Table Scan").
+// "Table Scan", TiDB "TableFullScan" → "Full Table Scan"). Each call
+// returns an independent registry; mutating one never affects another.
 func DefaultRegistry() *Registry {
+	t := defaultTemplate()
+	r := &Registry{
+		version:     t.version,
+		shared:      true,
+		operations:  t.operations,
+		properties:  t.properties,
+		opAliases:   t.opAliases,
+		propAliases: t.propAliases,
+	}
+	r.snap.Store(t.snap.Load())
+	return r
+}
+
+func buildDefaultTemplate() *Registry {
 	r := NewRegistry()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 
 	type op struct {
 		name string
@@ -340,7 +541,7 @@ func DefaultRegistry() *Registry {
 		{"Set Variable", Consumer, "set a system variable"},
 	}
 	for _, o := range ops {
-		r.AddOperation(o.name, o.cat, o.doc)
+		r.addOperationLocked(o.name, o.cat, o.doc)
 	}
 
 	type prop struct {
@@ -383,7 +584,7 @@ func DefaultRegistry() *Registry {
 		{"database accesses", Status, "storage accesses performed"},
 	}
 	for _, pdef := range props {
-		r.AddProperty(pdef.name, pdef.cat, pdef.doc)
+		r.addPropertyLocked(pdef.name, pdef.cat, pdef.doc)
 	}
 
 	// Dialect aliases for operations. Dialect keys are the lowercase engine
@@ -586,9 +787,10 @@ func DefaultRegistry() *Registry {
 		{"sparksql", "SetCatalogAndNamespace", "Set Variable"},
 	}
 	for _, a := range aliases {
-		if err := r.AliasOperation(a.dialect, a.native, a.unified); err != nil {
+		if err := r.checkOpAliasTarget(a.dialect, a.native, a.unified); err != nil {
 			panic(err) // static table; any failure is a programming error
 		}
+		r.setOpAliasLocked(a.dialect, a.native, a.unified)
 	}
 
 	propAliases := []struct{ dialect, native, unified string }{
@@ -665,9 +867,11 @@ func DefaultRegistry() *Registry {
 		{"influxdb", "EXPRESSION", "output"},
 	}
 	for _, a := range propAliases {
-		if err := r.AliasProperty(a.dialect, a.native, a.unified); err != nil {
+		if err := r.checkPropAliasTarget(a.dialect, a.native, a.unified); err != nil {
 			panic(err)
 		}
+		r.setPropAliasLocked(a.dialect, a.native, a.unified)
 	}
+	r.publish()
 	return r
 }

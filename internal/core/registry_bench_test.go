@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+// The resolver is the conversion hot path: one ResolveOperation per plan
+// node plus one ResolveProperty per property. These microbenchmarks pin
+// its cost, and the alloc guards below pin its allocation behavior, so
+// the lock-free snapshot design cannot silently regress.
+
+func BenchmarkResolveOperation(b *testing.B) {
+	r := DefaultRegistry()
+	b.Run("alias-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveOperation("tidb", "TableFullScan")
+		}
+	})
+	b.Run("alias-hit-folded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveOperation("postgresql", "Seq Scan")
+		}
+	})
+	b.Run("unified-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveOperation("unknown-dialect", "Hash Join")
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveOperation("postgresql", "Quantum Scan")
+		}
+	})
+}
+
+func BenchmarkResolveProperty(b *testing.B) {
+	r := DefaultRegistry()
+	b.Run("alias-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveProperty("tidb", "estRows")
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ResolveProperty("mysql", "mystery_prop")
+		}
+	})
+}
+
+func BenchmarkDefaultRegistry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DefaultRegistry()
+	}
+}
+
+// TestResolveZeroAllocs is the allocation guard of the snapshot design:
+// alias and unified-name hits must not touch the heap, whatever the case
+// of the native name.
+func TestResolveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	r := DefaultRegistry()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"op alias hit", func() { r.ResolveOperation("tidb", "TableFullScan") }},
+		{"op alias hit lower", func() { r.ResolveOperation("tidb", "tablefullscan") }},
+		{"op alias hit spaced", func() { r.ResolveOperation("postgresql", "Seq Scan") }},
+		{"op unified hit", func() { r.ResolveOperation("unknown-dialect", "Hash Join") }},
+		{"op miss", func() { r.ResolveOperation("postgresql", "Quantum Scan") }},
+		{"prop alias hit", func() { r.ResolveProperty("tidb", "estRows") }},
+		{"prop unified hit", func() { r.ResolveProperty("unknown-dialect", "total cost") }},
+	}
+	for _, c := range cases {
+		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, avg)
+		}
+	}
+}
+
+// TestCanonicalNameZeroAllocs guards the serialization fast path: names
+// already in keyword form must be returned without copying.
+func TestCanonicalNameZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		CanonicalName("Full_Table_Scan")
+	}); avg != 0 {
+		t.Errorf("CanonicalName on canonical input: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		DisplayName("Full Table Scan")
+	}); avg != 0 {
+		t.Errorf("DisplayName without underscores: %v allocs/op, want 0", avg)
+	}
+	// The slow path still rewrites.
+	if got := CanonicalName("Full Table Scan"); got != "Full_Table_Scan" {
+		t.Errorf("CanonicalName slow path = %q", got)
+	}
+	if got := CanonicalName("1st Pass"); got != "n1st_Pass" {
+		t.Errorf("CanonicalName digit-first = %q", got)
+	}
+}

@@ -64,3 +64,75 @@ func TestRegistryConcurrentReadersAndWriters(t *testing.T) {
 		t.Errorf("concurrently added alias lost: %v", op)
 	}
 }
+
+// TestRegistrySnapshotConsistency drives Add/Alias/Remove cycles against
+// concurrent resolvers and asserts every observed resolution is one of the
+// two valid snapshot states — the keyword fully present or fully absent.
+// A torn read (alias resolving to a half-registered operation, an empty
+// name, or a stale category) fails the test; under -race it additionally
+// proves the lock-free read path is data-race-free against writers.
+func TestRegistrySnapshotConsistency(t *testing.T) {
+	r := DefaultRegistry()
+	const (
+		unified = "Quantum Join"
+		native  = "QJoin"
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: cycle the keyword through registered → aliased → removed.
+	// stop closes on every exit path so a writer failure can't leave the
+	// readers spinning until the test binary times out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 300; i++ {
+			r.AddOperation(unified, Join, "cycled")
+			if err := r.AliasOperation("postgresql", native, unified); err != nil {
+				t.Error(err)
+				return
+			}
+			r.RemoveOperation(unified)
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastVersion := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := r.ResolveOperation("postgresql", native)
+				absent := op.Category == Executor && op.Name == native
+				present := op.Category == Join && op.Name == unified
+				if !absent && !present {
+					t.Errorf("torn resolution: %+v", op)
+					return
+				}
+				// The baseline vocabulary must survive every snapshot swap.
+				if base := r.ResolveOperation("postgresql", "Seq Scan"); base.Name != "Full Table Scan" {
+					t.Errorf("baseline alias lost mid-cycle: %+v", base)
+					return
+				}
+				if v := r.Version(); v < lastVersion {
+					t.Errorf("version went backwards: %d after %d", v, lastVersion)
+					return
+				} else {
+					lastVersion = v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the final Remove the keyword must resolve generically again.
+	if op := r.ResolveOperation("postgresql", native); op.Category != Executor {
+		t.Errorf("expected generic fallback after removal, got %+v", op)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -25,13 +27,41 @@ import (
 //
 // ParseText accepts both renderings.
 
+// textBufPool recycles the scratch buffers behind MarshalText and
+// MarshalIndentedText so repeated serialization (fingerprint loops, batch
+// pipelines) reuses grown capacity instead of re-growing per call. The
+// returned string is always a fresh copy; pooled buffers never escape.
+var textBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// appendValue writes v in text-format syntax directly into b, using the
+// buffer's spare capacity instead of building intermediate strings the way
+// Value.String does.
+func appendValue(b *bytes.Buffer, v Value) {
+	switch v.Kind {
+	case KindString:
+		b.Write(strconv.AppendQuote(b.AvailableBuffer(), v.Str))
+	case KindNumber:
+		b.Write(appendNumber(b.AvailableBuffer(), v.Num))
+	case KindBool:
+		if v.Bool {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	default:
+		b.WriteString("null")
+	}
+}
+
 // MarshalText renders the plan in the strict single-line EBNF format.
 // Operation and property identifiers are canonicalized (spaces become
 // underscores) so the output conforms to the grammar's keyword rule.
 func (p *Plan) MarshalText() string {
-	var b strings.Builder
+	b := textBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer textBufPool.Put(b)
 	if p.Root != nil {
-		writeTreeEBNF(&b, p.Root)
+		writeTreeEBNF(b, p.Root)
 		if len(p.Properties) > 0 {
 			// The grammar "plan ::= (tree)? properties" is ambiguous when
 			// the root operation has trailing properties; the explicit
@@ -39,11 +69,11 @@ func (p *Plan) MarshalText() string {
 			b.WriteString(" Plan: ")
 		}
 	}
-	writePropsEBNF(&b, p.Properties)
+	writePropsEBNF(b, p.Properties)
 	return b.String()
 }
 
-func writeTreeEBNF(b *strings.Builder, n *Node) {
+func writeTreeEBNF(b *bytes.Buffer, n *Node) {
 	b.WriteString("Operation: ")
 	b.WriteString(string(n.Op.Category))
 	b.WriteString("->")
@@ -64,7 +94,7 @@ func writeTreeEBNF(b *strings.Builder, n *Node) {
 	}
 }
 
-func writePropsEBNF(b *strings.Builder, props []Property) {
+func writePropsEBNF(b *bytes.Buffer, props []Property) {
 	for i, pr := range props {
 		if i > 0 {
 			b.WriteString(", ")
@@ -73,7 +103,19 @@ func writePropsEBNF(b *strings.Builder, props []Property) {
 		b.WriteString("->")
 		b.WriteString(CanonicalName(pr.Name))
 		b.WriteString(": ")
-		b.WriteString(pr.Value.String())
+		appendValue(b, pr.Value)
+	}
+}
+
+// indentBlanks backs writeIndent; deep plans write it in slices.
+const indentBlanks = "                                                                "
+
+// writeIndent writes 2*depth spaces without allocating.
+func writeIndent(b *bytes.Buffer, depth int) {
+	for n := 2 * depth; n > 0; {
+		k := min(n, len(indentBlanks))
+		b.WriteString(indentBlanks[:k])
+		n -= k
 	}
 }
 
@@ -82,23 +124,23 @@ func writePropsEBNF(b *strings.Builder, props []Property) {
 // indentation per level, each property on its own line below its operation,
 // and plan-associated properties at the end.
 func (p *Plan) MarshalIndentedText() string {
-	var b strings.Builder
+	b := textBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer textBufPool.Put(b)
 	var walk func(n *Node, depth int)
 	walk = func(n *Node, depth int) {
-		indent := strings.Repeat("  ", depth)
-		b.WriteString(indent)
+		writeIndent(b, depth)
 		b.WriteString(string(n.Op.Category))
 		b.WriteString("->")
 		b.WriteString(n.Op.Name)
 		b.WriteByte('\n')
 		for _, pr := range n.Properties {
-			b.WriteString(indent)
-			b.WriteString("  ")
+			writeIndent(b, depth+1)
 			b.WriteString(string(pr.Category))
 			b.WriteString("->")
 			b.WriteString(pr.Name)
 			b.WriteString(": ")
-			b.WriteString(pr.Value.String())
+			appendValue(b, pr.Value)
 			b.WriteByte('\n')
 		}
 		for _, c := range n.Children {
@@ -113,7 +155,7 @@ func (p *Plan) MarshalIndentedText() string {
 		b.WriteString("->")
 		b.WriteString(pr.Name)
 		b.WriteString(": ")
-		b.WriteString(pr.Value.String())
+		appendValue(b, pr.Value)
 		b.WriteByte('\n')
 	}
 	return b.String()

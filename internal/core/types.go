@@ -163,6 +163,14 @@ func FormatNumber(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
+// appendNumber appends FormatNumber's rendering of f to dst.
+func appendNumber(dst []byte, f float64) []byte {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.AppendInt(dst, int64(f), 10)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
 // Equal reports deep equality of two values.
 func (v Value) Equal(o Value) bool {
 	if v.Kind != o.Kind {
@@ -473,8 +481,13 @@ func AllowUnknownCategories() ValidateOption {
 
 // CanonicalName converts a unified name with spaces ("Full Table Scan") to
 // the strict keyword form of the grammar ("Full_Table_Scan"): letters,
-// digits and underscores only, starting with a letter.
+// digits and underscores only, starting with a letter. Names already in
+// canonical form are returned unmodified without allocating, which makes
+// serializing plans built from registry-interned names allocation-free.
 func CanonicalName(name string) string {
+	if isCanonicalName(name) {
+		return name
+	}
 	var b strings.Builder
 	b.Grow(len(name))
 	for i, r := range name {
@@ -493,27 +506,57 @@ func CanonicalName(name string) string {
 	return b.String()
 }
 
+// isCanonicalName reports whether CanonicalName would return name
+// unchanged: ASCII letters, digits, and underscores only, not starting
+// with a digit. A multi-byte rune always needs rewriting (it collapses to
+// one underscore), so the byte scan is exact.
+func isCanonicalName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // DisplayName reverses CanonicalName's underscore substitution for
-// presentation ("Full_Table_Scan" → "Full Table Scan").
+// presentation ("Full_Table_Scan" → "Full Table Scan"). Names without
+// underscores are returned unmodified without allocating (ReplaceAll
+// passes the input through when nothing matches; guarded by
+// TestCanonicalNameZeroAllocs).
 func DisplayName(name string) string {
 	return strings.ReplaceAll(name, "_", " ")
 }
 
-// SortProperties orders properties by category (canonical order) then name;
-// used by canonical serializations and fingerprints.
-func SortProperties(props []Property) {
-	rank := map[PropertyCategory]int{}
+// propCategoryRank orders the four property categories canonically; built
+// once so SortProperties does not rebuild it per call.
+var propCategoryRank = func() map[PropertyCategory]int {
+	rank := make(map[PropertyCategory]int, len(PropertyCategories))
 	for i, c := range PropertyCategories {
 		rank[c] = i
 	}
+	return rank
+}()
+
+// SortProperties orders properties by category (canonical order) then name;
+// used by canonical serializations and fingerprints. Unknown categories
+// sort after the four canonical ones.
+func SortProperties(props []Property) {
 	sort.SliceStable(props, func(i, j int) bool {
-		ri, iok := rank[props[i].Category]
-		rj, jok := rank[props[j].Category]
+		ri, iok := propCategoryRank[props[i].Category]
+		rj, jok := propCategoryRank[props[j].Category]
 		if !iok {
-			ri = len(rank)
+			ri = len(propCategoryRank)
 		}
 		if !jok {
-			rj = len(rank)
+			rj = len(propCategoryRank)
 		}
 		if ri != rj {
 			return ri < rj

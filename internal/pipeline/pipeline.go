@@ -15,7 +15,10 @@
 // Each worker keeps one converter per dialect for its lifetime, and all
 // workers share a single registry, so a batch of n records performs n
 // parses — not n registry constructions, which is what the one-shot
-// convert.Convert path costs.
+// convert.Convert path costs. Name resolution inside the workers reads
+// the registry's immutable snapshot (see core.Registry), so workers never
+// serialize on a registry lock even while a client concurrently registers
+// new keywords.
 package pipeline
 
 import (

@@ -95,6 +95,59 @@ func (s Stats) DialectPlansPerSec(dialect string) float64 {
 	return float64(ds.Converted) / s.Elapsed.Seconds()
 }
 
+// Report is the machine-readable snapshot of a pipeline run, used by
+// benchmark tooling (uplan-bench -out) to record the perf trajectory.
+type Report struct {
+	Records        int             `json:"records"`
+	Converted      int             `json:"converted"`
+	Errors         int             `json:"errors"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	PlansPerSec    float64         `json:"plans_per_sec"`
+	Dialects       []DialectReport `json:"dialects"`
+}
+
+// DialectReport is one dialect's share of a Report.
+type DialectReport struct {
+	Dialect     string             `json:"dialect"`
+	Records     int                `json:"records"`
+	Converted   int                `json:"converted"`
+	Errors      int                `json:"errors"`
+	PlansPerSec float64            `json:"plans_per_sec"`
+	FirstError  string             `json:"first_error,omitempty"`
+	Operations  map[string]float64 `json:"operations,omitempty"`
+}
+
+// Report renders the stats as a JSON-friendly snapshot.
+func (s Stats) Report() Report {
+	r := Report{
+		Records:        s.Records,
+		Converted:      s.Converted,
+		Errors:         s.Errors,
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		PlansPerSec:    s.PlansPerSec(),
+	}
+	for _, ds := range s.ByDialect() {
+		dr := DialectReport{
+			Dialect:     ds.Dialect,
+			Records:     ds.Records,
+			Converted:   ds.Converted,
+			Errors:      ds.Errors,
+			PlansPerSec: s.DialectPlansPerSec(ds.Dialect),
+		}
+		if ds.FirstError != nil {
+			dr.FirstError = ds.FirstError.Error()
+		}
+		if len(ds.Operations) > 0 {
+			dr.Operations = make(map[string]float64, len(ds.Operations))
+			for cat, n := range ds.Operations {
+				dr.Operations[string(cat)] = n
+			}
+		}
+		r.Dialects = append(r.Dialects, dr)
+	}
+	return r
+}
+
 // ByDialect returns the per-dialect aggregates sorted by dialect name.
 func (s Stats) ByDialect() []*DialectStats {
 	out := make([]*DialectStats, 0, len(s.Dialects))
