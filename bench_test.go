@@ -366,6 +366,9 @@ func BenchmarkConvertPostgresText(b *testing.B) {
 // one record at a time through the cached converters the facade now uses.
 // The parallel cases run the pipeline, which additionally reuses one
 // converter per dialect per worker and overlaps parsing across workers.
+// Every strategy retains the converted plans of the whole corpus — the
+// pipeline returns all results by contract, so the sequential paths
+// keep theirs too, and the strategies do the same job.
 func BenchmarkBatchConvert(b *testing.B) {
 	corpus, err := bench.Corpus(42)
 	if err != nil {
@@ -374,15 +377,18 @@ func BenchmarkBatchConvert(b *testing.B) {
 	reportRate := func(b *testing.B, n int, elapsed time.Duration) {
 		b.ReportMetric(float64(n*b.N)/elapsed.Seconds(), "plans/s")
 	}
+	plans := make([]*core.Plan, len(corpus))
 
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
-			for _, r := range corpus {
-				if _, err := convert.Convert(r.Dialect, r.Serialized); err != nil {
+			for j, r := range corpus {
+				p, err := convert.Convert(r.Dialect, r.Serialized)
+				if err != nil {
 					b.Fatal(err)
 				}
+				plans[j] = p
 			}
 		}
 		reportRate(b, len(corpus), time.Since(start))
@@ -391,14 +397,16 @@ func BenchmarkBatchConvert(b *testing.B) {
 		b.ReportAllocs()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
-			for _, r := range corpus {
+			for j, r := range corpus {
 				c, err := convert.Cached(r.Dialect)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := c.Convert(r.Serialized); err != nil {
+				p, err := c.Convert(r.Serialized)
+				if err != nil {
 					b.Fatal(err)
 				}
+				plans[j] = p
 			}
 		}
 		reportRate(b, len(corpus), time.Since(start))
@@ -422,7 +430,9 @@ func BenchmarkBatchConvert(b *testing.B) {
 	}
 }
 
-// BenchmarkFingerprint measures plan fingerprinting (QPG's inner loop).
+// BenchmarkFingerprint measures plan fingerprinting (QPG's inner loop)
+// on a cached plan: the hex formatting helper, the binary SHA-256 digest,
+// the allocation-free 64-bit fast path, and the FingerprintSet hit path.
 func BenchmarkFingerprint(b *testing.B) {
 	e := dbms.MustNew("tidb")
 	if err := bench.LoadTPCH(e, 42, bench.DefaultSizes()); err != nil {
@@ -437,8 +447,31 @@ func BenchmarkFingerprint(b *testing.B) {
 		b.Fatal(err)
 	}
 	opts := core.FingerprintOptions{IncludeConfiguration: true}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		plan.Fingerprint(opts)
-	}
+	b.Run("hex", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan.Fingerprint(opts)
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan.FingerprintBytes(opts)
+		}
+	})
+	b.Run("fast64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan.Fingerprint64(opts)
+		}
+	})
+	b.Run("observe-hit", func(b *testing.B) {
+		set := core.NewFingerprintSet(opts)
+		set.Observe(plan)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			set.Observe(plan)
+		}
+	})
 }

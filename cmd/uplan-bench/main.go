@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"uplan/internal/bench"
@@ -37,11 +38,15 @@ type batchResult struct {
 	CorpusRecords int     `json:"corpus_records"`
 	Sequential    pathRun `json:"sequential"`
 	Cached        pathRun `json:"sequential_cached"`
-	// Pipeline is present when -parallel > 0.
-	Pipeline        *pipeline.Report `json:"pipeline,omitempty"`
-	Workers         int              `json:"workers,omitempty"`
-	SpeedupVsSeq    float64          `json:"speedup_vs_sequential,omitempty"`
-	SpeedupVsCached float64          `json:"speedup_vs_sequential_cached,omitempty"`
+	// Pipeline is present when -parallel > 0. Workers is the requested
+	// count; WorkersEffective is what ConvertBatch actually ran after
+	// its GOMAXPROCS clamp — on a 1-CPU runner the two routinely differ.
+	Pipeline         *pipeline.Report `json:"pipeline,omitempty"`
+	Workers          int              `json:"workers,omitempty"`
+	WorkersEffective int              `json:"workers_effective,omitempty"`
+	ChunkSize        int              `json:"chunk_size,omitempty"`
+	SpeedupVsSeq     float64          `json:"speedup_vs_sequential,omitempty"`
+	SpeedupVsCached  float64          `json:"speedup_vs_sequential_cached,omitempty"`
 }
 
 // pathRun records one conversion strategy's throughput.
@@ -55,6 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
 	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch")
 	parallel := flag.Int("parallel", 0, "batch experiment: pipeline worker count (0 = sequential only)")
+	chunk := flag.Int("chunk", 0, "batch experiment: records per pipeline dispatch chunk (0 = default)")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
 	flag.Parse()
 
@@ -138,18 +144,28 @@ func main() {
 			len(corpus), cachedElapsed.Seconds(), cachedRate)
 
 		if *parallel > 0 {
-			results, stats := pipeline.ConvertBatch(corpus,
-				pipeline.Options{Workers: *parallel})
+			if *chunk <= 0 {
+				*chunk = pipeline.DefaultChunkSize
+			}
+			popts := pipeline.Options{Workers: *parallel, ChunkSize: *chunk}
+			results, stats := pipeline.ConvertBatch(corpus, popts)
 			for _, r := range results {
 				if r.Err != nil {
 					fail(r.Err)
 				}
 			}
-			fmt.Printf("pipeline (%d workers):\n%s", *parallel, stats)
+			effective := *parallel
+			if n := runtime.GOMAXPROCS(0); effective > n {
+				effective = n
+			}
+			fmt.Printf("pipeline (%d workers requested, %d effective, chunk %d):\n%s",
+				*parallel, effective, popts.ChunkSize, stats)
 			fmt.Printf("speedup over sequential: %.2fx\n", stats.PlansPerSec()/seqRate)
 			report := stats.Report()
 			result.Pipeline = &report
 			result.Workers = *parallel
+			result.WorkersEffective = effective
+			result.ChunkSize = popts.ChunkSize
 			result.SpeedupVsSeq = stats.PlansPerSec() / seqRate
 			result.SpeedupVsCached = stats.PlansPerSec() / cachedRate
 		}

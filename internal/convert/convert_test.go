@@ -10,7 +10,7 @@ import (
 )
 
 // engine creates a seeded engine for converter round-trip tests.
-func engine(t *testing.T, name string) *dbms.Engine {
+func engine(t testing.TB, name string) *dbms.Engine {
 	t.Helper()
 	e := dbms.MustNew(name)
 	for _, s := range []string{

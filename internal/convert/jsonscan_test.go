@@ -1,0 +1,140 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/explain"
+)
+
+func TestJSONScanScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.Value
+	}{
+		{`null`, core.Null()},
+		{`true`, core.BoolVal(true)},
+		{`false`, core.BoolVal(false)},
+		{`42`, core.Num(42)},
+		{`-3.25e2`, core.Num(-325)},
+		{`"hello"`, core.Str("hello")},
+		// Strings run through parseScalar, like the legacy decoders.
+		{`"17"`, core.Num(17)},
+		{`"true"`, core.BoolVal(true)},
+		{`"  spaced  "`, core.Str("spaced")},
+		// Escapes decode, including surrogate pairs.
+		{`"a\tbé😀"`, core.Str("a\tbé\U0001F600")},
+		{`"😀"`, core.Str("\U0001F600")},
+		// A failed pair consumes only the first escape, like
+		// encoding/json: D800 D800 DC00 → U+FFFD then U+10000.
+		{`"\uD800\uD800\uDC00"`, core.Str("\uFFFD\U00010000")},
+		{`"\uDC00"`, core.Str("�")},
+		// Composite values become compact raw JSON.
+		{`[1, 2,  3]`, core.Str(`[1,2,3]`)},
+		{"{\n  \"a\": \"x y\",\n  \"b\": [true]\n}", core.Str(`{"a":"x y","b":[true]}`)},
+	}
+	for _, c := range cases {
+		sc := newJSONScan(c.in)
+		got, err := sc.scanValue()
+		if err != nil {
+			t.Errorf("scanValue(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("scanValue(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJSONScanMalformed(t *testing.T) {
+	bad := []string{
+		``, `{`, `[`, `{"a"`, `{"a":}`, `{"a":1,}`, `[1,]`, `{"a" 1}`,
+		`{1: 2}`, `"unterminated`, `"bad \q escape"`, `"\u12"`, `"\u12zz"`,
+		`nul`, `tru`, `1.`, `.5`, `-`, `1e`, `1e+`,
+		"\"ctrl\x01char\"", `{"a": 01}`, `[0123]`,
+		strings.Repeat("[", 20000),
+	}
+	for _, s := range bad {
+		sc := newJSONScan(s)
+		if err := sc.skipValue(); err == nil {
+			t.Errorf("skipValue(%.20q): expected error", s)
+		}
+	}
+}
+
+func TestJSONScanObjectWalk(t *testing.T) {
+	sc := newJSONScan(`{"a": 1, "b": {"c": [true, null]}, "d": "x"}`)
+	var keys []string
+	err := sc.scanObject(func(key string) error {
+		keys = append(keys, key)
+		return sc.skipValue()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(keys, ","); got != "a,b,d" {
+		t.Errorf("keys = %s", got)
+	}
+}
+
+// TestTiDBJSONRejectsTrailingGarbage pins the json.Unmarshal-compatible
+// strictness the streaming TiDB decoder keeps: anything after the plan
+// value is an error, unlike the Decode-style converters.
+func TestTiDBJSONRejectsTrailingGarbage(t *testing.T) {
+	c, err := Cached("tidb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `[{"id": "HashAgg_1", "estRows": "3.60"}]`
+	if _, err := c.Convert(good); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if _, err := c.Convert(good + ` , garbage`); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// TestJSONScanKeysDoNotAllocate pins the fast path: escape-free strings
+// are substrings of the input.
+func TestJSONScanKeysDoNotAllocate(t *testing.T) {
+	in := `"plain key"`
+	if avg := testing.AllocsPerRun(200, func() {
+		sc := newJSONScan(in)
+		if _, err := sc.scanString(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("scanString fast path: %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkDecodeJSON compares the streaming decoder against the
+// retained legacy map[string]any path on a real PostgreSQL JSON plan.
+func BenchmarkDecodeJSON(b *testing.B) {
+	e := engine(b, "postgresql")
+	out, err := e.Explain(testQuery, explain.FormatJSON)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Cached("postgresql")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Convert(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LegacyConvert("postgresql", out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

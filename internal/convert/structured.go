@@ -2,8 +2,8 @@ package convert
 
 import (
 	"bytes"
-	"encoding/json"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -12,105 +12,154 @@ import (
 
 // Structured-format parsers: PostgreSQL JSON, MySQL JSON, TiDB JSON,
 // MongoDB explain JSON, Neo4j JSON, and SQL Server showplan XML.
+//
+// The JSON formats decode through the streaming jsonScan walker (see
+// jsonscan.go): object keys drive core.Node construction directly, with
+// no intermediate map[string]any / []any trees. The retained map-based
+// decoders live in jsonlegacy.go and serve as the reference
+// implementation for the differential tests.
 
-func decodeJSON(s string, into any) error {
-	dec := json.NewDecoder(bytes.NewReader([]byte(s)))
-	dec.UseNumber()
-	return dec.Decode(into)
-}
+// nodePropHint pre-sizes a node's property slice; JSON plan nodes carry a
+// handful of properties, and one up-front allocation beats three
+// append-growth steps.
+const nodePropHint = 8
 
-func scalarFromJSON(v any) core.Value {
-	switch t := v.(type) {
-	case nil:
-		return core.Null()
-	case string:
-		return parseScalar(t)
-	case bool:
-		return core.BoolVal(t)
-	case json.Number:
-		f, err := t.Float64()
-		if err != nil {
-			return core.Str(t.String())
-		}
-		return core.Num(f)
-	default:
-		raw, _ := json.Marshal(v)
-		return core.Str(string(raw))
-	}
+func newJSONNode() *core.Node {
+	return &core.Node{Properties: make([]core.Property, 0, nodePropHint)}
 }
 
 // ------------------------------------------------------- PostgreSQL (JSON)
 
+// errPGArrayElement is already fully phrased; convertJSON returns it
+// as-is instead of wrapping it like scanner errors.
+var errPGArrayElement = errors.New("convert: postgres json: unexpected array element")
+
 func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
-	var doc any
-	if err := decodeJSON(s, &doc); err != nil {
-		return nil, fmt.Errorf("convert: postgres json: %w", err)
-	}
-	// Accept both the canonical one-element array and a bare object.
-	obj, ok := doc.(map[string]any)
-	if !ok {
-		arr, isArr := doc.([]any)
-		if !isArr || len(arr) == 0 {
-			return nil, fmt.Errorf("convert: postgres json: unexpected top-level shape")
-		}
-		obj, ok = arr[0].(map[string]any)
-		if !ok {
-			return nil, fmt.Errorf("convert: postgres json: unexpected array element")
-		}
-	}
+	sc := newJSONScan(s)
 	plan := &core.Plan{Source: "postgresql"}
-	for k, v := range obj {
-		if k == "Plan" {
-			continue
-		}
-		name, cat := c.reg.ResolveProperty("postgresql", k)
-		plan.Properties = append(plan.Properties, core.Property{
-			Category: cat, Name: name, Value: scalarFromJSON(v),
+	scanTop := func() error {
+		return sc.scanObject(func(key string) error {
+			if key == "Plan" {
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				root, err := c.scanJSONNode(&sc)
+				if err != nil {
+					return err
+				}
+				plan.Root = root
+				return nil
+			}
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			name, cat := c.reg.ResolveProperty("postgresql", key)
+			plan.Properties = append(plan.Properties, core.Property{
+				Category: cat, Name: name, Value: v,
+			})
+			return nil
 		})
 	}
-	if rawPlan, ok := obj["Plan"].(map[string]any); ok {
-		plan.Root = c.jsonNode(rawPlan)
+	// Accept both the canonical one-element array and a bare object.
+	switch sc.peek() {
+	case '[':
+		seen := false
+		err := sc.scanArray(func(i int) error {
+			if i > 0 {
+				return sc.skipValue()
+			}
+			if sc.peek() != '{' {
+				return errPGArrayElement
+			}
+			seen = true
+			return scanTop()
+		})
+		if err != nil {
+			if errors.Is(err, errPGArrayElement) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("convert: postgres json: %w", err)
+		}
+		if !seen {
+			return nil, fmt.Errorf("convert: postgres json: unexpected top-level shape")
+		}
+	case '{':
+		if err := scanTop(); err != nil {
+			return nil, fmt.Errorf("convert: postgres json: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("convert: postgres json: unexpected top-level shape")
 	}
 	return plan, nil
 }
 
-func (c *postgresConverter) jsonNode(m map[string]any) *core.Node {
-	name, _ := m["Node Type"].(string)
-	node := &core.Node{Op: c.reg.ResolveOperation("postgresql", name)}
-	for k, v := range m {
-		switch k {
-		case "Node Type", "Plans", "Parent Relationship":
-			if k == "Parent Relationship" {
-				addTypedProp(node, core.Configuration, "parent relationship", scalarFromJSON(v))
+func (c *postgresConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
+	node := newJSONNode()
+	sawType := false
+	prop := func(cat core.PropertyCategory, name string) error {
+		v, err := sc.scanValue()
+		if err != nil {
+			return err
+		}
+		addTypedProp(node, cat, name, v)
+		return nil
+	}
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "Node Type":
+			name, ok, err := sc.scanStringValue()
+			if err != nil {
+				return err
 			}
-			continue
+			if ok {
+				node.Op = c.reg.ResolveOperation("postgresql", name)
+				sawType = true
+			}
+			return nil
+		case "Plans":
+			if sc.peek() != '[' {
+				return sc.skipValue()
+			}
+			return sc.scanArray(func(int) error {
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				child, err := c.scanJSONNode(sc)
+				if err != nil {
+					return err
+				}
+				node.Children = append(node.Children, child)
+				return nil
+			})
+		case "Parent Relationship":
+			return prop(core.Configuration, "parent relationship")
 		case "Startup Cost":
-			addTypedProp(node, core.Cost, "startup cost", scalarFromJSON(v))
+			return prop(core.Cost, "startup cost")
 		case "Total Cost":
-			addTypedProp(node, core.Cost, "total cost", scalarFromJSON(v))
+			return prop(core.Cost, "total cost")
 		case "Plan Rows":
-			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+			return prop(core.Cardinality, "estimated rows")
 		case "Plan Width":
-			addTypedProp(node, core.Cardinality, "estimated width", scalarFromJSON(v))
+			return prop(core.Cardinality, "estimated width")
 		case "Actual Rows":
-			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+			return prop(core.Cardinality, "actual rows")
 		case "Actual Total Time":
-			addTypedProp(node, core.Status, "actual time", scalarFromJSON(v))
+			return prop(core.Status, "actual time")
 		case "Relation Name":
-			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
+			return prop(core.Configuration, "name object")
 		default:
-			pname, cat := c.reg.ResolveProperty("postgresql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
+			pname, cat := c.reg.ResolveProperty("postgresql", key)
+			return prop(cat, pname)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	if kids, ok := m["Plans"].([]any); ok {
-		for _, kid := range kids {
-			if km, ok := kid.(map[string]any); ok {
-				node.Children = append(node.Children, c.jsonNode(km))
-			}
-		}
+	if !sawType {
+		node.Op = c.reg.ResolveOperation("postgresql", "")
 	}
-	return node
+	return node, nil
 }
 
 // -------------------------------------------------------- PostgreSQL (XML)
@@ -265,22 +314,51 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 // ------------------------------------------------------------ MySQL (JSON)
 
 func (c *mysqlConverter) convertJSON(s string) (*core.Plan, error) {
-	var doc map[string]any
-	if err := decodeJSON(s, &doc); err != nil {
+	sc := newJSONScan(s)
+	plan := &core.Plan{Source: "mysql"}
+	foundQB := false
+	err := sc.scanObject(func(key string) error {
+		if key != "query_block" || sc.peek() != '{' {
+			return sc.skipValue()
+		}
+		foundQB = true
+		return sc.scanObject(func(qk string) error {
+			switch qk {
+			case "cost_info":
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				return sc.scanObject(func(ck string) error {
+					if ck != "query_cost" {
+						return sc.skipValue()
+					}
+					v, err := sc.scanValue()
+					if err != nil {
+						return err
+					}
+					addPlanPropTyped(plan, core.Cost, "total cost", v)
+					return nil
+				})
+			case "plan":
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				root, err := c.scanJSONNode(&sc)
+				if err != nil {
+					return err
+				}
+				plan.Root = root
+				return nil
+			default:
+				return sc.skipValue()
+			}
+		})
+	})
+	if err != nil {
 		return nil, fmt.Errorf("convert: mysql json: %w", err)
 	}
-	qb, ok := doc["query_block"].(map[string]any)
-	if !ok {
+	if !foundQB {
 		return nil, fmt.Errorf("convert: mysql json: missing query_block")
-	}
-	plan := &core.Plan{Source: "mysql"}
-	if ci, ok := qb["cost_info"].(map[string]any); ok {
-		if qc, ok := ci["query_cost"]; ok {
-			addPlanPropTyped(plan, core.Cost, "total cost", scalarFromJSON(qc))
-		}
-	}
-	if p, ok := qb["plan"].(map[string]any); ok {
-		plan.Root = c.jsonNode(p)
 	}
 	if plan.Root == nil && len(plan.Properties) == 0 {
 		return nil, fmt.Errorf("convert: mysql json: empty plan")
@@ -292,70 +370,197 @@ func addPlanPropTyped(p *core.Plan, cat core.PropertyCategory, name string, v co
 	p.Properties = append(p.Properties, core.Property{Category: cat, Name: name, Value: v})
 }
 
-func (c *mysqlConverter) jsonNode(m map[string]any) *core.Node {
-	opText, _ := m["operation"].(string)
-	node := c.parseTreeLine(opText)
-	if ci, ok := m["cost_info"].(map[string]any); ok {
-		for k, v := range ci {
-			pname, cat := c.reg.ResolveProperty("mysql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
-		}
-	}
-	for k, v := range m {
-		switch k {
-		case "operation", "inputs", "cost_info":
-			continue
-		case "rows_examined_per_scan":
-			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
-		case "actual_rows":
-			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
-		default:
-			pname, cat := c.reg.ResolveProperty("mysql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
-		}
-	}
-	if kids, ok := m["inputs"].([]any); ok {
-		for _, kid := range kids {
-			if km, ok := kid.(map[string]any); ok {
-				node.Children = append(node.Children, c.jsonNode(km))
+func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
+	node := newJSONNode()
+	sawOp := false
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "operation":
+			title, ok, err := sc.scanStringValue()
+			if err != nil || !ok {
+				return err
 			}
+			parsed := c.parseTreeLine(title)
+			node.Op = parsed.Op
+			node.Properties = append(node.Properties, parsed.Properties...)
+			sawOp = true
+			return nil
+		case "cost_info":
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			return sc.scanObject(func(ck string) error {
+				v, err := sc.scanValue()
+				if err != nil {
+					return err
+				}
+				pname, cat := c.reg.ResolveProperty("mysql", ck)
+				addTypedProp(node, cat, pname, v)
+				return nil
+			})
+		case "inputs":
+			if sc.peek() != '[' {
+				return sc.skipValue()
+			}
+			return sc.scanArray(func(int) error {
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				child, err := c.scanJSONNode(sc)
+				if err != nil {
+					return err
+				}
+				node.Children = append(node.Children, child)
+				return nil
+			})
+		case "rows_examined_per_scan":
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			addTypedProp(node, core.Cardinality, "estimated rows", v)
+			return nil
+		case "actual_rows":
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			addTypedProp(node, core.Cardinality, "actual rows", v)
+			return nil
+		default:
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			pname, cat := c.reg.ResolveProperty("mysql", key)
+			addTypedProp(node, cat, pname, v)
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return node
+	if !sawOp {
+		node.Op = c.reg.ResolveOperation("mysql", "")
+	}
+	return node, nil
 }
 
 // ------------------------------------------------------------- TiDB (JSON)
 
-type tidbJSONIn struct {
-	ID           string       `json:"id"`
-	EstRows      string       `json:"estRows"`
-	ActRows      string       `json:"actRows"`
-	TaskType     string       `json:"taskType"`
-	AccessObject string       `json:"accessObject"`
-	OperatorInfo string       `json:"operatorInfo"`
-	SubOperators []tidbJSONIn `json:"subOperators"`
+// tidbJSONFields are the scalar fields of one TiDB JSON operator object.
+type tidbJSONFields struct {
+	ID           string
+	EstRows      string
+	ActRows      string
+	TaskType     string
+	AccessObject string
+	OperatorInfo string
 }
 
 func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
-	var arr []tidbJSONIn
-	if err := json.Unmarshal([]byte(s), &arr); err != nil {
-		// Maybe a single object.
-		var one tidbJSONIn
-		if err2 := json.Unmarshal([]byte(s), &one); err2 != nil {
+	sc := newJSONScan(s)
+	var root *core.Node
+	switch sc.peek() {
+	case '[':
+		seen := false
+		err := sc.scanArray(func(i int) error {
+			// Only element 0 becomes the plan, but every element is
+			// decoded: the legacy json.Unmarshal reference type-checked
+			// the whole array, and skipping would accept documents it
+			// rejected.
+			n, err := c.scanJSONNode(&sc)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				root, seen = n, true
+			}
+			return nil
+		})
+		if err != nil {
 			return nil, fmt.Errorf("convert: tidb json: %w", err)
 		}
-		arr = []tidbJSONIn{one}
+		if !seen {
+			return nil, fmt.Errorf("convert: tidb json: empty plan")
+		}
+	case '{':
+		n, err := c.scanJSONNode(&sc)
+		if err != nil {
+			return nil, fmt.Errorf("convert: tidb json: %w", err)
+		}
+		root = n
+	default:
+		return nil, fmt.Errorf("convert: tidb json: unexpected top-level shape")
 	}
-	if len(arr) == 0 {
-		return nil, fmt.Errorf("convert: tidb json: empty plan")
+	// The legacy decoder was json.Unmarshal, which rejects trailing
+	// garbage; keep that strictness.
+	if err := sc.requireEOF(); err != nil {
+		return nil, fmt.Errorf("convert: tidb json: %w", err)
 	}
 	plan := &core.Plan{Source: "tidb"}
-	plan.Root = c.jsonNode(arr[0])
-	plan.Root = foldTiDBSelections(plan.Root)
+	plan.Root = foldTiDBSelections(root)
 	return plan, nil
 }
 
-func (c *tidbConverter) jsonNode(in tidbJSONIn) *core.Node {
+func (c *tidbConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
+	var in tidbJSONFields
+	var children []*core.Node
+	strField := func(dst *string) error {
+		if sc.peek() == 'n' { // JSON null leaves the field empty, like Unmarshal
+			return sc.scanLiteral("null")
+		}
+		v, ok, err := sc.scanStringValue()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("non-string operator field")
+		}
+		*dst = v
+		return nil
+	}
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "id":
+			return strField(&in.ID)
+		case "estRows":
+			return strField(&in.EstRows)
+		case "actRows":
+			return strField(&in.ActRows)
+		case "taskType":
+			return strField(&in.TaskType)
+		case "accessObject":
+			return strField(&in.AccessObject)
+		case "operatorInfo":
+			return strField(&in.OperatorInfo)
+		case "subOperators":
+			if sc.peek() == 'n' {
+				return sc.scanLiteral("null")
+			}
+			return sc.scanArray(func(int) error {
+				child, err := c.scanJSONNode(sc)
+				if err != nil {
+					return err
+				}
+				children = append(children, child)
+				return nil
+			})
+		default:
+			return sc.skipValue()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	node := c.nodeFromJSONFields(in)
+	node.Children = children
+	return node, nil
+}
+
+// nodeFromJSONFields maps one operator object's scalar fields onto a node;
+// shared by the streaming decoder above and the legacy reference decoder.
+func (c *tidbConverter) nodeFromJSONFields(in tidbJSONFields) *core.Node {
 	base, suffix := stripOperatorSuffix(in.ID)
 	node := &core.Node{Op: c.reg.ResolveOperation("tidb", base)}
 	if suffix != "" {
@@ -378,9 +583,6 @@ func (c *tidbConverter) jsonNode(in tidbJSONIn) *core.Node {
 		name, cat := c.reg.ResolveProperty("tidb", "operator info")
 		addTypedProp(node, cat, name, core.Str(in.OperatorInfo))
 	}
-	for _, sub := range in.SubOperators {
-		node.Children = append(node.Children, c.jsonNode(sub))
-	}
 	return node
 }
 
@@ -391,26 +593,61 @@ type mongoConverter struct{ reg *core.Registry }
 func (c *mongoConverter) Dialect() string { return "mongodb" }
 
 func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
-	var doc map[string]any
-	if err := decodeJSON(s, &doc); err != nil {
+	sc := newJSONScan(s)
+	plan := &core.Plan{Source: "mongodb"}
+	foundQP := false
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "queryPlanner":
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			foundQP = true
+			return sc.scanObject(func(qk string) error {
+				switch qk {
+				case "namespace":
+					v, err := sc.scanValue()
+					if err != nil {
+						return err
+					}
+					addPlanPropTyped(plan, core.Configuration, "name object", v)
+					return nil
+				case "winningPlan":
+					if sc.peek() != '{' {
+						return sc.skipValue()
+					}
+					root, err := c.scanStage(&sc)
+					if err != nil {
+						return err
+					}
+					plan.Root = root
+					return nil
+				default:
+					return sc.skipValue()
+				}
+			})
+		case "executionStats":
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			return sc.scanObject(func(ek string) error {
+				v, err := sc.scanValue()
+				if err != nil {
+					return err
+				}
+				name, cat := c.reg.ResolveProperty("mongodb", ek)
+				addPlanPropTyped(plan, cat, name, v)
+				return nil
+			})
+		default:
+			return sc.skipValue()
+		}
+	})
+	if err != nil {
 		return nil, fmt.Errorf("convert: mongodb json: %w", err)
 	}
-	qp, ok := doc["queryPlanner"].(map[string]any)
-	if !ok {
+	if !foundQP {
 		return nil, fmt.Errorf("convert: mongodb json: missing queryPlanner")
-	}
-	plan := &core.Plan{Source: "mongodb"}
-	if ns, ok := qp["namespace"]; ok {
-		addPlanPropTyped(plan, core.Configuration, "name object", scalarFromJSON(ns))
-	}
-	if wp, ok := qp["winningPlan"].(map[string]any); ok {
-		plan.Root = c.stage(wp)
-	}
-	if es, ok := doc["executionStats"].(map[string]any); ok {
-		for k, v := range es {
-			name, cat := c.reg.ResolveProperty("mongodb", k)
-			addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
-		}
 	}
 	if plan.Root == nil {
 		return nil, fmt.Errorf("convert: mongodb json: no winningPlan")
@@ -418,50 +655,107 @@ func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *mongoConverter) stage(m map[string]any) *core.Node {
-	name, _ := m["stage"].(string)
-	node := &core.Node{Op: c.reg.ResolveOperation("mongodb", name)}
-	for k, v := range m {
-		switch k {
-		case "stage", "inputStage", "inputStages":
-			continue
-		case "namespace":
-			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
-		default:
-			pname, cat := c.reg.ResolveProperty("mongodb", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
-		}
-	}
-	if in, ok := m["inputStage"].(map[string]any); ok {
-		node.Children = append(node.Children, c.stage(in))
-	}
-	if ins, ok := m["inputStages"].([]any); ok {
-		for _, kid := range ins {
-			if km, ok := kid.(map[string]any); ok {
-				node.Children = append(node.Children, c.stage(km))
+func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
+	node := newJSONNode()
+	sawStage := false
+	// inputStage precedes inputStages in the children, whatever the
+	// document's key order (the legacy decoder's fixed attachment order).
+	var first *core.Node
+	var rest []*core.Node
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "stage":
+			name, ok, err := sc.scanStringValue()
+			if err != nil {
+				return err
 			}
+			if ok {
+				node.Op = c.reg.ResolveOperation("mongodb", name)
+				sawStage = true
+			}
+			return nil
+		case "inputStage":
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			child, err := c.scanStage(sc)
+			if err != nil {
+				return err
+			}
+			first = child
+			return nil
+		case "inputStages":
+			if sc.peek() != '[' {
+				return sc.skipValue()
+			}
+			return sc.scanArray(func(int) error {
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				child, err := c.scanStage(sc)
+				if err != nil {
+					return err
+				}
+				rest = append(rest, child)
+				return nil
+			})
+		case "namespace":
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			addTypedProp(node, core.Configuration, "name object", v)
+			return nil
+		default:
+			v, err := sc.scanValue()
+			if err != nil {
+				return err
+			}
+			pname, cat := c.reg.ResolveProperty("mongodb", key)
+			addTypedProp(node, cat, pname, v)
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return node
+	if !sawStage {
+		node.Op = c.reg.ResolveOperation("mongodb", "")
+	}
+	if first != nil {
+		node.Children = append(node.Children, first)
+	}
+	node.Children = append(node.Children, rest...)
+	return node, nil
 }
 
 // ------------------------------------------------------------ Neo4j (JSON)
 
 func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
-	var doc map[string]any
-	if err := decodeJSON(s, &doc); err != nil {
-		return nil, fmt.Errorf("convert: neo4j json: %w", err)
-	}
+	sc := newJSONScan(s)
 	plan := &core.Plan{Source: "neo4j"}
-	for k, v := range doc {
-		if k == "plan" {
-			continue
+	err := sc.scanObject(func(key string) error {
+		if key == "plan" {
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			root, err := c.scanJSONNode(&sc)
+			if err != nil {
+				return err
+			}
+			plan.Root = root
+			return nil
 		}
-		name, cat := c.reg.ResolveProperty("neo4j", k)
-		addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
-	}
-	if p, ok := doc["plan"].(map[string]any); ok {
-		plan.Root = c.jsonNode(p)
+		v, err := sc.scanValue()
+		if err != nil {
+			return err
+		}
+		name, cat := c.reg.ResolveProperty("neo4j", key)
+		addPlanPropTyped(plan, cat, name, v)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("convert: neo4j json: %w", err)
 	}
 	if plan.Root == nil && len(plan.Properties) == 0 {
 		return nil, fmt.Errorf("convert: neo4j json: empty document")
@@ -469,30 +763,67 @@ func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *neo4jConverter) jsonNode(m map[string]any) *core.Node {
-	name, _ := m["operatorType"].(string)
-	node := &core.Node{Op: c.reg.ResolveOperation("neo4j", name)}
-	if args, ok := m["arguments"].(map[string]any); ok {
-		for k, v := range args {
-			switch k {
-			case "EstimatedRows":
-				addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
-			case "Rows":
-				addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
-			default:
-				pname, cat := c.reg.ResolveProperty("neo4j", k)
-				addTypedProp(node, cat, pname, scalarFromJSON(v))
+func (c *neo4jConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
+	node := newJSONNode()
+	sawOp := false
+	err := sc.scanObject(func(key string) error {
+		switch key {
+		case "operatorType":
+			name, ok, err := sc.scanStringValue()
+			if err != nil {
+				return err
 			}
-		}
-	}
-	if kids, ok := m["children"].([]any); ok {
-		for _, kid := range kids {
-			if km, ok := kid.(map[string]any); ok {
-				node.Children = append(node.Children, c.jsonNode(km))
+			if ok {
+				node.Op = c.reg.ResolveOperation("neo4j", name)
+				sawOp = true
 			}
+			return nil
+		case "arguments":
+			if sc.peek() != '{' {
+				return sc.skipValue()
+			}
+			return sc.scanObject(func(ak string) error {
+				v, err := sc.scanValue()
+				if err != nil {
+					return err
+				}
+				switch ak {
+				case "EstimatedRows":
+					addTypedProp(node, core.Cardinality, "estimated rows", v)
+				case "Rows":
+					addTypedProp(node, core.Cardinality, "actual rows", v)
+				default:
+					pname, cat := c.reg.ResolveProperty("neo4j", ak)
+					addTypedProp(node, cat, pname, v)
+				}
+				return nil
+			})
+		case "children":
+			if sc.peek() != '[' {
+				return sc.skipValue()
+			}
+			return sc.scanArray(func(int) error {
+				if sc.peek() != '{' {
+					return sc.skipValue()
+				}
+				child, err := c.scanJSONNode(sc)
+				if err != nil {
+					return err
+				}
+				node.Children = append(node.Children, child)
+				return nil
+			})
+		default:
+			return sc.skipValue()
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return node
+	if !sawOp {
+		node.Op = c.reg.ResolveOperation("neo4j", "")
+	}
+	return node, nil
 }
 
 // -------------------------------------------------------- SQL Server (XML)

@@ -120,6 +120,70 @@ func TestFingerprintDeterministic(t *testing.T) {
 	}
 }
 
+// TestFingerprintBinaryForms checks that the three fingerprint forms —
+// hex string, [32]byte digest, and 64-bit fast hash — agree on identity
+// and all react to structural changes.
+func TestFingerprintBinaryForms(t *testing.T) {
+	allOpts := []FingerprintOptions{
+		{},
+		{IncludeConfiguration: true},
+		{IncludeConfiguration: true, IncludeConfigurationValues: true},
+		{IncludePlanProperties: true},
+	}
+	a := samplePlan()
+	for _, opts := range allOpts {
+		if got, want := a.Fingerprint(opts), HexFingerprint(a.FingerprintBytes(opts)); got != want {
+			t.Errorf("hex form diverged from bytes form (opts=%+v): %s vs %s", opts, got, want)
+		}
+		clone := a.Clone()
+		if a.FingerprintBytes(opts) != clone.FingerprintBytes(opts) {
+			t.Errorf("FingerprintBytes not deterministic across clones (opts=%+v)", opts)
+		}
+		if a.Fingerprint64(opts) != clone.Fingerprint64(opts) {
+			t.Errorf("Fingerprint64 not deterministic across clones (opts=%+v)", opts)
+		}
+	}
+	b := samplePlan()
+	b.Root.AddChild(NewNode(Executor, "Collect"))
+	if a.FingerprintBytes(FingerprintOptions{}) == b.FingerprintBytes(FingerprintOptions{}) {
+		t.Error("added node must change FingerprintBytes")
+	}
+	if a.Fingerprint64(FingerprintOptions{}) == b.Fingerprint64(FingerprintOptions{}) {
+		t.Error("added node must change Fingerprint64")
+	}
+}
+
+// TestFingerprintZeroAllocs guards the QPG hot loop: the fast 64-bit
+// fingerprint and the FingerprintSet hit path must not touch the heap.
+// (Options including configuration values may allocate while rendering
+// values and are not guarded.)
+func TestFingerprintZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	p := samplePlan()
+	opts := FingerprintOptions{IncludeConfiguration: true}
+	s := NewFingerprintSet(opts)
+	s.Observe(p) // the set now contains p; further observations are hits
+	// Warm the pooled walk state so scratch buffers are grown.
+	p.Fingerprint64(opts)
+	p.FingerprintBytes(opts)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Fingerprint64", func() { p.Fingerprint64(opts) }},
+		{"FingerprintBytes", func() { p.FingerprintBytes(opts) }},
+		{"Observe hit", func() { s.Observe(p) }},
+		{"Count", func() { s.Count(p) }},
+	}
+	for _, c := range cases {
+		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, avg)
+		}
+	}
+}
+
 func TestFingerprintPropertyOrderIndependence(t *testing.T) {
 	a := &Plan{Root: NewNode(Producer, "Scan").
 		AddProperty(Configuration, "a", Str("1")).

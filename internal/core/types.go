@@ -66,6 +66,30 @@ func (c OperationCategory) Valid() bool {
 	return false
 }
 
+// CategoryIndex returns c's position in OperationCategories, or -1 for a
+// category outside the canonical seven. It lets hot paths count
+// operations in a fixed array (one comparison) instead of a map (a hash
+// per operation).
+func CategoryIndex(c OperationCategory) int {
+	switch c {
+	case Producer:
+		return 0
+	case Combinator:
+		return 1
+	case Join:
+		return 2
+	case Folder:
+		return 3
+	case Projector:
+		return 4
+	case Executor:
+		return 5
+	case Consumer:
+		return 6
+	}
+	return -1
+}
+
 // PropertyCategory classifies a property of an operation or plan.
 type PropertyCategory string
 

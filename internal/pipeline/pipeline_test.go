@@ -350,18 +350,116 @@ func TestStatsSnapshotIsolation(t *testing.T) {
 	}
 }
 
-// TestOptionsDefaults pins the documented zero-value behavior.
+// TestOptionsDefaults pins the documented zero-value behavior: batches
+// default to DefaultChunkSize, streams to per-record dispatch.
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.withDefaults(DefaultChunkSize)
 	if o.Workers <= 0 {
 		t.Errorf("Workers default = %d, want > 0", o.Workers)
 	}
 	if o.Buffer != 2*o.Workers {
 		t.Errorf("Buffer default = %d, want %d", o.Buffer, 2*o.Workers)
 	}
-	o = Options{Workers: 3, Buffer: 9}.withDefaults()
-	if o.Workers != 3 || o.Buffer != 9 {
+	if o.ChunkSize != DefaultChunkSize {
+		t.Errorf("batch ChunkSize default = %d, want %d", o.ChunkSize, DefaultChunkSize)
+	}
+	if o := (Options{}).withDefaults(1); o.ChunkSize != 1 {
+		t.Errorf("stream ChunkSize default = %d, want 1", o.ChunkSize)
+	}
+	o = Options{Workers: 3, Buffer: 9, ChunkSize: 5}.withDefaults(DefaultChunkSize)
+	if o.Workers != 3 || o.Buffer != 9 || o.ChunkSize != 5 {
 		t.Errorf("explicit options rewritten: %+v", o)
+	}
+}
+
+// TestPipelineSubmitThenWait locks the streaming default: with ChunkSize
+// unset, a caller may wait for each record's result before submitting
+// the next without deadlocking on a partially filled chunk.
+func TestPipelineSubmitThenWait(t *testing.T) {
+	recs := fixtures(t)
+	p := New(Options{Workers: 2})
+	for i, r := range recs {
+		seq := p.Submit(r)
+		res, ok := <-p.Results()
+		if !ok {
+			t.Fatal("results channel closed early")
+		}
+		if res.Seq != seq || res.Err != nil {
+			t.Fatalf("record %d: seq %d (want %d), err %v", i, res.Seq, seq, res.Err)
+		}
+	}
+	p.Close()
+	if _, ok := <-p.Results(); ok {
+		t.Fatal("unexpected extra result")
+	}
+}
+
+// TestConvertBatchChunkSizes checks that results and statistics are
+// identical whatever the chunk size — per-record dispatch, the default,
+// one oversized chunk, and a size that leaves a partial tail chunk.
+func TestConvertBatchChunkSizes(t *testing.T) {
+	recs := fixtures(t)
+	var batch []Record
+	for i := 0; i < 9; i++ {
+		batch = append(batch, recs...)
+	}
+	// Mix in failures so error accounting is exercised too.
+	batch = append(batch, Record{Dialect: "oracle", Serialized: "x"},
+		Record{Dialect: "postgresql", Serialized: "garbage {{{"})
+
+	want, wantStats := ConvertBatch(batch, Options{Workers: 1, ChunkSize: len(batch)})
+	for _, cs := range []int{1, 7, DefaultChunkSize, len(batch), len(batch) * 3} {
+		got, stats := ConvertBatch(batch, Options{Workers: 4, ChunkSize: cs})
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d results, want %d", cs, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Seq != i || got[i].Record != batch[i] {
+				t.Fatalf("chunk %d: result %d misplaced", cs, i)
+			}
+			if (got[i].Err != nil) != (want[i].Err != nil) {
+				t.Errorf("chunk %d: result %d error mismatch: %v vs %v",
+					cs, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Err == nil && !got[i].Plan.Equal(want[i].Plan) {
+				t.Errorf("chunk %d: result %d plan differs", cs, i)
+			}
+		}
+		if stats.Records != wantStats.Records || stats.Converted != wantStats.Converted ||
+			stats.Errors != wantStats.Errors {
+			t.Errorf("chunk %d: stats %d/%d/%d, want %d/%d/%d", cs,
+				stats.Records, stats.Converted, stats.Errors,
+				wantStats.Records, wantStats.Converted, wantStats.Errors)
+		}
+	}
+}
+
+// TestPipelineFlushesPartialChunk checks that records stuck in a partial
+// chunk are dispatched by Close, at every chunk size around the batch
+// size.
+func TestPipelineFlushesPartialChunk(t *testing.T) {
+	recs := fixtures(t)
+	for _, cs := range []int{1, 4, len(recs), len(recs) + 50} {
+		p := New(Options{Workers: 2, ChunkSize: cs})
+		go func() {
+			for _, r := range recs {
+				p.Submit(r)
+			}
+			p.Close()
+		}()
+		got := 0
+		for r := range p.Results() {
+			if r.Err != nil {
+				t.Errorf("chunk %d: %s: %v", cs, r.Record.Dialect, r.Err)
+			}
+			got++
+		}
+		if got != len(recs) {
+			t.Fatalf("chunk %d: received %d results, want %d", cs, got, len(recs))
+		}
+		if s := p.Stats(); s.Converted != len(recs) {
+			t.Errorf("chunk %d: stats.Converted = %d, want %d", cs, s.Converted, len(recs))
+		}
 	}
 }
 

@@ -82,7 +82,10 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	conv, err := convert.For(target.Info.Name, nil)
+	// The campaign converts one plan per generated query; the shared
+	// cached converter (streaming JSON decoder, lock-free registry
+	// snapshot) keeps that loop allocation-lean.
+	conv, err := convert.Cached(target.Info.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +97,9 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 		// names, but not values — predicate constants and identifiers are
 		// exactly the unstable information QPG must ignore, and excluding
 		// them lets coverage plateau so the mutation feedback loop engages.
+		// The set dedups on binary SHA-256 keys; Observe on an
+		// already-seen plan (the common case once coverage plateaus) does
+		// not allocate.
 		Plans: core.NewFingerprintSet(core.FingerprintOptions{
 			IncludeConfiguration: true,
 		}),

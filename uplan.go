@@ -43,9 +43,25 @@ type (
 	Registry = core.Registry
 	// FingerprintOptions controls structural plan fingerprints.
 	FingerprintOptions = core.FingerprintOptions
+	// FingerprintSet tracks observed plan fingerprints on binary keys —
+	// QPG's "is this plan structurally new?" coverage map.
+	FingerprintSet = core.FingerprintSet
 	// CategoryHistogram counts operations per category.
 	CategoryHistogram = core.CategoryHistogram
 )
+
+// NewFingerprintSet returns an empty fingerprint set using the given
+// options. Observe on an already-seen plan is allocation-free; use
+// Plan.Fingerprint64 for the fastest sketch-style hashing and
+// Plan.FingerprintBytes / HexFingerprint for collision-resistant keys
+// and display.
+func NewFingerprintSet(opts FingerprintOptions) *FingerprintSet {
+	return core.NewFingerprintSet(opts)
+}
+
+// HexFingerprint renders a binary plan fingerprint in the traditional
+// 32-character hex form.
+func HexFingerprint(fp [32]byte) string { return core.HexFingerprint(fp) }
 
 // The seven operation categories (Section III-C of the paper).
 const (
