@@ -356,6 +356,45 @@ func BenchmarkConvertPostgresText(b *testing.B) {
 	}
 }
 
+// BenchmarkConvertText measures every dialect's text/table converter — the
+// formats the arena + zero-copy line-slicing rewrite targets — through the
+// cached one-shot path (pooled arena + detach, what uplan.Convert does)
+// and through a reused arena (the pipeline's owned-batch mode: ConvertInto
+// + Reset, plans not retained). Inputs come from bench.TextSamples, shared
+// with uplan-bench's -experiment text so both trajectories measure the
+// same plans.
+func BenchmarkConvertText(b *testing.B) {
+	samples, err := bench.TextSamples(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range samples {
+		c, err := convert.Cached(s.Dialect)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Convert(s.Raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.Name+"/reuse", func(b *testing.B) {
+			ar := core.NewPlanArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := convert.ConvertInto(s.Dialect, s.Raw, ar); err != nil {
+					b.Fatal(err)
+				}
+				ar.Reset()
+			}
+		})
+	}
+}
+
 // BenchmarkBatchConvert compares sequential conversion of the mixed
 // nine-dialect corpus (TPC-H plus the bug-campaign stream) against the
 // concurrent batch pipeline at increasing worker counts.
@@ -417,6 +456,25 @@ func BenchmarkBatchConvert(b *testing.B) {
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				results, stats := ConvertBatch(corpus, PipelineOptions{Workers: workers})
+				if stats.Errors != 0 {
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			}
+			reportRate(b, len(corpus), time.Since(start))
+		})
+	}
+	// Owned-batch arena mode: one arena per worker, reset between records,
+	// results detached via the compact Plan.Clone.
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d-reuse", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				results, stats := ConvertBatch(corpus, PipelineOptions{Workers: workers, ReuseArenas: true})
 				if stats.Errors != 0 {
 					for _, r := range results {
 						if r.Err != nil {

@@ -7,14 +7,25 @@
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch] [-parallel N] [-out FILE]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text]
+//	            [-parallel N] [-reuse-arenas] [-iters N] [-out FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel N runs the batch experiment through the conversion pipeline
 // with N workers and reports the speedup over the sequential one-shot
 // path; -parallel 0 (the default) reports the sequential path only.
+// -reuse-arenas turns on the pipeline's owned-batch arena mode.
 // -out FILE additionally writes the batch experiment's throughput and
 // speedup numbers as JSON (see BENCH_batch.json for the committed
 // snapshots that record the perf trajectory across PRs).
+//
+// -experiment text measures each dialect's text-format converter
+// trajectory — the one-shot path against a reused arena — over -iters
+// conversions per dialect, reporting ns/plan and allocs/plan.
+//
+// -cpuprofile / -memprofile write pprof profiles covering whichever
+// experiments ran, so hot-path regressions can be diagnosed with
+// `go tool pprof` straight from this binary.
 package main
 
 import (
@@ -23,10 +34,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"uplan/internal/bench"
 	"uplan/internal/convert"
+	"uplan/internal/core"
 	"uplan/internal/pipeline"
 )
 
@@ -45,6 +58,7 @@ type batchResult struct {
 	Workers          int              `json:"workers,omitempty"`
 	WorkersEffective int              `json:"workers_effective,omitempty"`
 	ChunkSize        int              `json:"chunk_size,omitempty"`
+	ReuseArenas      bool             `json:"reuse_arenas,omitempty"`
 	SpeedupVsSeq     float64          `json:"speedup_vs_sequential,omitempty"`
 	SpeedupVsCached  float64          `json:"speedup_vs_sequential_cached,omitempty"`
 }
@@ -58,19 +72,74 @@ type pathRun struct {
 
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
-	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text")
 	parallel := flag.Int("parallel", 0, "batch experiment: pipeline worker count (0 = sequential only)")
 	chunk := flag.Int("chunk", 0, "batch experiment: records per pipeline dispatch chunk (0 = default)")
+	reuseArenas := flag.Bool("reuse-arenas", false, "batch experiment: per-worker reusable arenas (owned-batch mode)")
+	iters := flag.Int("iters", 2000, "text experiment: conversions per dialect per path")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to FILE")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
 	flag.Parse()
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	// flushProfiles finalizes -cpuprofile/-memprofile. It runs both on the
+	// normal return path and from fail(): os.Exit skips defers, and a
+	// diagnostic run that dies mid-experiment is exactly when a valid
+	// profile matters most.
+	flushed := false
+	var cpuFile *os.File // owned by flushProfiles; closing before StopCPUProfile would drop the flush
+	flushProfiles := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uplan-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "uplan-bench:", err)
+			}
+		}
+	}
+	defer flushProfiles()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "uplan-bench:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 	if *out != "" && !run("batch") {
 		fail(fmt.Errorf("-out only applies to the batch experiment (got -experiment %s)", *experiment))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		cpuFile = f
+	}
+	// The text experiment is explicit-only: it is a microbenchmark loop,
+	// not one of the paper's artifacts, so "all" does not imply it.
+	if *experiment == "text" {
+		if *iters <= 0 {
+			fail(fmt.Errorf("-iters must be positive (got %d)", *iters))
+		}
+		if err := runTextExperiment(*seed, *iters); err != nil {
+			fail(err)
+		}
 	}
 
 	if run("table6") || run("figure4") {
@@ -147,7 +216,7 @@ func main() {
 			if *chunk <= 0 {
 				*chunk = pipeline.DefaultChunkSize
 			}
-			popts := pipeline.Options{Workers: *parallel, ChunkSize: *chunk}
+			popts := pipeline.Options{Workers: *parallel, ChunkSize: *chunk, ReuseArenas: *reuseArenas}
 			results, stats := pipeline.ConvertBatch(corpus, popts)
 			for _, r := range results {
 				if r.Err != nil {
@@ -166,6 +235,7 @@ func main() {
 			result.Workers = *parallel
 			result.WorkersEffective = effective
 			result.ChunkSize = popts.ChunkSize
+			result.ReuseArenas = *reuseArenas
 			result.SpeedupVsSeq = stats.PlansPerSec() / seqRate
 			result.SpeedupVsCached = stats.PlansPerSec() / cachedRate
 		}
@@ -196,4 +266,55 @@ func main() {
 		fmt.Printf("redundant scan time: %.3f ms of %.3f ms (%.0f%%)\n",
 			a.RedundantMS, a.TotalMS, a.SavingsFraction()*100)
 	}
+}
+
+// runTextExperiment measures every text-dialect converter through the
+// one-shot path and through a reused arena, reporting ns/plan and
+// allocs/plan so the text-path trajectory is trackable like the batch
+// path's.
+func runTextExperiment(seed int64, iters int) error {
+	samples, err := bench.TextSamples(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Text converters: %d conversions per dialect per path ==\n", iters)
+	fmt.Printf("%-14s %12s %12s %14s %14s %9s\n",
+		"dialect", "oneshot ns", "reuse ns", "oneshot allocs", "reuse allocs", "speedup")
+	measure := func(fn func()) (nsPerOp float64, allocsPerOp float64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return float64(elapsed.Nanoseconds()) / float64(iters),
+			float64(after.Mallocs-before.Mallocs) / float64(iters)
+	}
+	for _, s := range samples {
+		conv, err := convert.Cached(s.Dialect)
+		if err != nil {
+			return err
+		}
+		if _, err := conv.Convert(s.Raw); err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		oneNs, oneAllocs := measure(func() { conv.Convert(s.Raw) })
+		ar := core.NewPlanArena()
+		// Validate the arena path too before timing it: a failing path
+		// measures its error return and reports a bogus speedup.
+		if _, err := convert.ConvertInto(s.Dialect, s.Raw, ar); err != nil {
+			return fmt.Errorf("%s (arena path): %w", s.Name, err)
+		}
+		ar.Reset()
+		reuseNs, reuseAllocs := measure(func() {
+			convert.ConvertInto(s.Dialect, s.Raw, ar)
+			ar.Reset()
+		})
+		fmt.Printf("%-14s %12.0f %12.0f %14.1f %14.1f %8.2fx\n",
+			s.Name, oneNs, reuseNs, oneAllocs, reuseAllocs, oneNs/reuseNs)
+	}
+	return nil
 }

@@ -25,6 +25,62 @@ type Converter interface {
 	Convert(serialized string) (*core.Plan, error)
 }
 
+// ArenaConverter is implemented by converters whose construction path is
+// arena-native: ConvertIn builds the plan's nodes, property lists, and
+// child lists inside the caller-supplied arena (see core.PlanArena for the
+// ownership rules — the plan aliases the arena until Plan.Clone detaches
+// it). A nil arena builds a plain heap plan. All nine built-in converters
+// implement it; Convert(s) is ConvertIn(s, fresh arena) throughout, so the
+// one-shot path batches its allocations too.
+type ArenaConverter interface {
+	Converter
+	ConvertIn(serialized string, ar *core.PlanArena) (*core.Plan, error)
+}
+
+// ConvertInto parses a serialized plan into the caller-supplied arena
+// through the process-wide cached converter for the dialect. The returned
+// plan aliases the arena: it stays valid until the arena is Reset, and
+// must be detached with Plan.Clone if it needs to outlive that. A nil
+// arena behaves like Cached(dialect).Convert.
+func ConvertInto(dialect, serialized string, ar *core.PlanArena) (*core.Plan, error) {
+	c, err := Cached(dialect)
+	if err != nil {
+		return nil, err
+	}
+	ac, ok := c.(ArenaConverter)
+	if !ok {
+		// Mirrors the pipeline's fallback: a converter without an arena
+		// path still converts, it just ignores the caller's arena.
+		return c.Convert(serialized)
+	}
+	if ar == nil {
+		return convertPooled(ac, serialized)
+	}
+	return ac.ConvertIn(serialized, ar)
+}
+
+// arenaPool recycles plan arenas behind the one-shot Convert path. Each
+// Convert borrows an arena, builds the plan in it, detaches the plan with
+// the compact Plan.Clone, resets, and returns the arena — so even callers
+// that never manage an arena get slab-batched construction plus an
+// exactly-sized result, at the cost of one tree copy. Pooled arenas keep
+// their grown slabs (and intern tables) across conversions; the pool
+// releases them under GC pressure like any sync.Pool.
+var arenaPool = sync.Pool{New: func() any { return core.NewPlanArena() }}
+
+// convertPooled is the shared implementation of the converters' one-shot
+// Convert methods: ConvertIn into a pooled arena, detach, recycle.
+func convertPooled(c ArenaConverter, serialized string) (*core.Plan, error) {
+	ar := arenaPool.Get().(*core.PlanArena)
+	p, err := c.ConvertIn(serialized, ar)
+	if p != nil {
+		p = p.Clone() // detach before the arena is reused
+	}
+	ar.Reset()
+	arenaPool.Put(ar)
+	return p, err
+}
+
 // registry of converters, keyed by dialect.
 var converters = map[string]func(reg *core.Registry) Converter{
 	"postgresql": func(r *core.Registry) Converter { return &postgresConverter{reg: r} },
@@ -136,32 +192,65 @@ func parseScalar(s string) core.Value {
 	case "null", "NULL":
 		return core.Null()
 	}
-	if f, err := strconv.ParseFloat(t, 64); err == nil {
-		return core.Num(f)
+	if looksNumeric(t) {
+		if f, err := strconv.ParseFloat(t, 64); err == nil {
+			return core.Num(f)
+		}
 	}
 	return core.Str(t)
 }
 
+// looksNumeric cheaply rejects strings ParseFloat would reject. ParseFloat
+// allocates its syntax error, and most property values are not numbers, so
+// without this filter the error construction alone was ~13% of the batch
+// path's allocations. The byte set is a superset of every literal
+// ParseFloat accepts (digits, sign/exponent/hex punctuation, and the
+// letters of inf/infinity/nan in either case), so no valid number is ever
+// filtered out — only guaranteed failures skip the call.
+func looksNumeric(t string) bool {
+	if len(t) == 0 {
+		return false
+	}
+	switch c := t[0]; {
+	case c >= '0' && c <= '9':
+	case c == '+' || c == '-' || c == '.':
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N': // inf / nan
+	default:
+		return false
+	}
+	for i := 1; i < len(t); i++ {
+		switch c := t[i]; {
+		case c >= '0' && c <= '9':
+		case c == '+' || c == '-' || c == '.' || c == '_':
+		case c == 'e' || c == 'E' || c == 'x' || c == 'X' || c == 'p' || c == 'P':
+		case c == 'i' || c == 'I' || c == 'n' || c == 'N' || c == 'f' || c == 'F':
+		case c == 'a' || c == 'A' || c == 't' || c == 'T' || c == 'y' || c == 'Y':
+		case c == 'b' || c == 'B' || c == 'c' || c == 'C' || c == 'd' || c == 'D': // hex digits
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // addProp resolves a native property name through the registry and appends
-// it to the node.
-func addProp(reg *core.Registry, dialect string, n *core.Node, nativeKey, rawVal string) {
+// it to the node, allocating from ar when non-nil.
+func addProp(reg *core.Registry, dialect string, ar *core.PlanArena, n *core.Node, nativeKey, rawVal string) {
 	name, cat := reg.ResolveProperty(dialect, nativeKey)
-	n.Properties = append(n.Properties, core.Property{
-		Category: cat, Name: name, Value: parseScalar(rawVal),
-	})
+	ar.AddPropertyIn(n, cat, name, parseScalar(rawVal))
 }
 
-// addTypedProp appends a property with an explicit category override.
-func addTypedProp(n *core.Node, cat core.PropertyCategory, name string, v core.Value) {
-	n.Properties = append(n.Properties, core.Property{Category: cat, Name: name, Value: v})
+// addTypedProp appends a property with an explicit category override,
+// allocating from ar when non-nil.
+func addTypedProp(ar *core.PlanArena, n *core.Node, cat core.PropertyCategory, name string, v core.Value) {
+	ar.AddPropertyIn(n, cat, name, v)
 }
 
-// addPlanProp resolves and appends a plan-level property.
-func addPlanProp(reg *core.Registry, dialect string, p *core.Plan, nativeKey, rawVal string) {
+// addPlanProp resolves and appends a plan-level property, allocating from
+// ar when non-nil.
+func addPlanProp(reg *core.Registry, dialect string, ar *core.PlanArena, p *core.Plan, nativeKey, rawVal string) {
 	name, cat := reg.ResolveProperty(dialect, nativeKey)
-	p.Properties = append(p.Properties, core.Property{
-		Category: cat, Name: name, Value: parseScalar(rawVal),
-	})
+	ar.AddPlanPropertyIn(p, cat, name, parseScalar(rawVal))
 }
 
 // indentDepth counts leading spaces.

@@ -52,10 +52,15 @@ func scalarFromJSON(v any) core.Value {
 
 // LegacyConvert converts a serialized plan through the retained map-based
 // JSON decoders when the input is one of the five streaming-ported JSON
-// formats, and through the regular converter otherwise (text, table, XML,
-// and YAML formats share one implementation with the production path).
-// Differential tests assert that its output matches the streaming
-// decoders' canonically, so the port cannot silently change semantics.
+// formats, and through the regular parsers in plain heap mode (nil arena)
+// otherwise. Differential tests assert that its output matches the
+// streaming, arena-backed decoders' canonically, so neither the scanner
+// port nor the arena memory model can silently change semantics. The heap
+// fallback matters: Convert itself now routes through pooled arenas, so
+// going through it here would compare the arena path against itself —
+// ConvertIn with a nil arena keeps construction (one heap object per
+// node/property, plain appends) independent of the slab allocator for the
+// text, table, XML, and YAML formats too.
 func LegacyConvert(dialect, serialized string) (*core.Plan, error) {
 	conv, err := Cached(dialect)
 	if err != nil {
@@ -81,6 +86,9 @@ func LegacyConvert(dialect, serialized string) (*core.Plan, error) {
 		if strings.HasPrefix(t, "{") {
 			return c.legacyJSON(serialized)
 		}
+	}
+	if ac, ok := conv.(ArenaConverter); ok {
+		return ac.ConvertIn(serialized, nil) // heap-built reference plan
 	}
 	return conv.Convert(serialized)
 }
@@ -126,26 +134,26 @@ func (c *postgresConverter) legacyJSONNode(m map[string]any) *core.Node {
 		switch k {
 		case "Node Type", "Plans", "Parent Relationship":
 			if k == "Parent Relationship" {
-				addTypedProp(node, core.Configuration, "parent relationship", scalarFromJSON(v))
+				addTypedProp(nil, node, core.Configuration, "parent relationship", scalarFromJSON(v))
 			}
 			continue
 		case "Startup Cost":
-			addTypedProp(node, core.Cost, "startup cost", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cost, "startup cost", scalarFromJSON(v))
 		case "Total Cost":
-			addTypedProp(node, core.Cost, "total cost", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cost, "total cost", scalarFromJSON(v))
 		case "Plan Rows":
-			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cardinality, "estimated rows", scalarFromJSON(v))
 		case "Plan Width":
-			addTypedProp(node, core.Cardinality, "estimated width", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cardinality, "estimated width", scalarFromJSON(v))
 		case "Actual Rows":
-			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cardinality, "actual rows", scalarFromJSON(v))
 		case "Actual Total Time":
-			addTypedProp(node, core.Status, "actual time", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Status, "actual time", scalarFromJSON(v))
 		case "Relation Name":
-			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Configuration, "name object", scalarFromJSON(v))
 		default:
 			pname, cat := c.reg.ResolveProperty("postgresql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
+			addTypedProp(nil, node, cat, pname, scalarFromJSON(v))
 		}
 	}
 	if kids, ok := m["Plans"].([]any); ok {
@@ -172,7 +180,7 @@ func (c *mysqlConverter) legacyJSON(s string) (*core.Plan, error) {
 	plan := &core.Plan{Source: "mysql"}
 	if ci, ok := qb["cost_info"].(map[string]any); ok {
 		if qc, ok := ci["query_cost"]; ok {
-			addPlanPropTyped(plan, core.Cost, "total cost", scalarFromJSON(qc))
+			addPlanPropTyped(nil, plan, core.Cost, "total cost", scalarFromJSON(qc))
 		}
 	}
 	if p, ok := qb["plan"].(map[string]any); ok {
@@ -186,11 +194,11 @@ func (c *mysqlConverter) legacyJSON(s string) (*core.Plan, error) {
 
 func (c *mysqlConverter) legacyJSONNode(m map[string]any) *core.Node {
 	opText, _ := m["operation"].(string)
-	node := c.parseTreeLine(opText)
+	node := c.parseTreeLine(opText, nil)
 	if ci, ok := m["cost_info"].(map[string]any); ok {
 		for k, v := range ci {
 			pname, cat := c.reg.ResolveProperty("mysql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
+			addTypedProp(nil, node, cat, pname, scalarFromJSON(v))
 		}
 	}
 	for k, v := range m {
@@ -198,12 +206,12 @@ func (c *mysqlConverter) legacyJSONNode(m map[string]any) *core.Node {
 		case "operation", "inputs", "cost_info":
 			continue
 		case "rows_examined_per_scan":
-			addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cardinality, "estimated rows", scalarFromJSON(v))
 		case "actual_rows":
-			addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Cardinality, "actual rows", scalarFromJSON(v))
 		default:
 			pname, cat := c.reg.ResolveProperty("mysql", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
+			addTypedProp(nil, node, cat, pname, scalarFromJSON(v))
 		}
 	}
 	if kids, ok := m["inputs"].([]any); ok {
@@ -254,7 +262,7 @@ func (c *tidbConverter) legacyJSONNode(in tidbJSONIn) *core.Node {
 		TaskType:     in.TaskType,
 		AccessObject: in.AccessObject,
 		OperatorInfo: in.OperatorInfo,
-	})
+	}, nil)
 	for _, sub := range in.SubOperators {
 		node.Children = append(node.Children, c.legacyJSONNode(sub))
 	}
@@ -274,7 +282,7 @@ func (c *mongoConverter) legacyJSON(s string) (*core.Plan, error) {
 	}
 	plan := &core.Plan{Source: "mongodb"}
 	if ns, ok := qp["namespace"]; ok {
-		addPlanPropTyped(plan, core.Configuration, "name object", scalarFromJSON(ns))
+		addPlanPropTyped(nil, plan, core.Configuration, "name object", scalarFromJSON(ns))
 	}
 	if wp, ok := qp["winningPlan"].(map[string]any); ok {
 		plan.Root = c.legacyStage(wp)
@@ -282,7 +290,7 @@ func (c *mongoConverter) legacyJSON(s string) (*core.Plan, error) {
 	if es, ok := doc["executionStats"].(map[string]any); ok {
 		for k, v := range es {
 			name, cat := c.reg.ResolveProperty("mongodb", k)
-			addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
+			addPlanPropTyped(nil, plan, cat, name, scalarFromJSON(v))
 		}
 	}
 	if plan.Root == nil {
@@ -299,10 +307,10 @@ func (c *mongoConverter) legacyStage(m map[string]any) *core.Node {
 		case "stage", "inputStage", "inputStages":
 			continue
 		case "namespace":
-			addTypedProp(node, core.Configuration, "name object", scalarFromJSON(v))
+			addTypedProp(nil, node, core.Configuration, "name object", scalarFromJSON(v))
 		default:
 			pname, cat := c.reg.ResolveProperty("mongodb", k)
-			addTypedProp(node, cat, pname, scalarFromJSON(v))
+			addTypedProp(nil, node, cat, pname, scalarFromJSON(v))
 		}
 	}
 	if in, ok := m["inputStage"].(map[string]any); ok {
@@ -331,7 +339,7 @@ func (c *neo4jConverter) legacyJSON(s string) (*core.Plan, error) {
 			continue
 		}
 		name, cat := c.reg.ResolveProperty("neo4j", k)
-		addPlanPropTyped(plan, cat, name, scalarFromJSON(v))
+		addPlanPropTyped(nil, plan, cat, name, scalarFromJSON(v))
 	}
 	if p, ok := doc["plan"].(map[string]any); ok {
 		plan.Root = c.legacyJSONNode(p)
@@ -349,12 +357,12 @@ func (c *neo4jConverter) legacyJSONNode(m map[string]any) *core.Node {
 		for k, v := range args {
 			switch k {
 			case "EstimatedRows":
-				addTypedProp(node, core.Cardinality, "estimated rows", scalarFromJSON(v))
+				addTypedProp(nil, node, core.Cardinality, "estimated rows", scalarFromJSON(v))
 			case "Rows":
-				addTypedProp(node, core.Cardinality, "actual rows", scalarFromJSON(v))
+				addTypedProp(nil, node, core.Cardinality, "actual rows", scalarFromJSON(v))
 			default:
 				pname, cat := c.reg.ResolveProperty("neo4j", k)
-				addTypedProp(node, cat, pname, scalarFromJSON(v))
+				addTypedProp(nil, node, cat, pname, scalarFromJSON(v))
 			}
 		}
 	}

@@ -33,6 +33,12 @@ type jsonScan struct {
 	s     string
 	pos   int
 	depth int
+	// ar, when non-nil, interns the strings the scanner must materialize
+	// (escaped strings, re-compacted composites), so repeated dynamic
+	// values across a batch share one canonical copy instead of retaining
+	// a fresh build each. Zero-copy substrings bypass it: interning them
+	// would add a copy rather than remove one.
+	ar *core.PlanArena
 }
 
 // maxJSONDepth bounds object/array nesting, like encoding/json's decoder
@@ -208,7 +214,7 @@ func (sc *jsonScan) unescapeString(start int) (string, error) {
 		switch {
 		case c == '"':
 			sc.pos++
-			return b.String(), nil
+			return sc.ar.Intern(b.String()), nil
 		case c == '\\':
 			sc.pos++
 			if sc.pos >= len(sc.s) {
@@ -482,7 +488,7 @@ func (sc *jsonScan) scanRawCompact() (string, error) {
 		}
 		b.WriteByte(c)
 	}
-	return b.String(), nil
+	return sc.ar.Intern(b.String()), nil
 }
 
 // hasJSONSpace reports whether s contains any byte scanRawCompact would

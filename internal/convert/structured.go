@@ -15,17 +15,16 @@ import (
 //
 // The JSON formats decode through the streaming jsonScan walker (see
 // jsonscan.go): object keys drive core.Node construction directly, with
-// no intermediate map[string]any / []any trees. The retained map-based
-// decoders live in jsonlegacy.go and serve as the reference
-// implementation for the differential tests.
+// no intermediate map[string]any / []any trees, and every node, property
+// list, and child list is allocated from the caller's core.PlanArena
+// (nil arena → heap). The retained map-based decoders live in
+// jsonlegacy.go and serve as the reference implementation for the
+// differential tests.
 
-// nodePropHint pre-sizes a node's property slice; JSON plan nodes carry a
-// handful of properties, and one up-front allocation beats three
-// append-growth steps.
-const nodePropHint = 8
-
-func newJSONNode() *core.Node {
-	return &core.Node{Properties: make([]core.Property, 0, nodePropHint)}
+// newJSONNodeIn allocates a JSON plan node with its operation still
+// unknown; the scanners fill Op when (if) they meet the type key.
+func newJSONNodeIn(ar *core.PlanArena) *core.Node {
+	return ar.NewNodeIn("", "")
 }
 
 // ------------------------------------------------------- PostgreSQL (JSON)
@@ -34,8 +33,9 @@ func newJSONNode() *core.Node {
 // as-is instead of wrapping it like scanner errors.
 var errPGArrayElement = errors.New("convert: postgres json: unexpected array element")
 
-func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
+func (c *postgresConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
+	sc.ar = ar
 	plan := &core.Plan{Source: "postgresql"}
 	scanTop := func() error {
 		return sc.scanObject(func(key string) error {
@@ -43,7 +43,7 @@ func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				root, err := c.scanJSONNode(&sc)
+				root, err := c.scanJSONNode(&sc, ar)
 				if err != nil {
 					return err
 				}
@@ -55,9 +55,7 @@ func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
 				return err
 			}
 			name, cat := c.reg.ResolveProperty("postgresql", key)
-			plan.Properties = append(plan.Properties, core.Property{
-				Category: cat, Name: name, Value: v,
-			})
+			ar.AddPlanPropertyIn(plan, cat, name, v)
 			return nil
 		})
 	}
@@ -94,15 +92,15 @@ func (c *postgresConverter) convertJSON(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *postgresConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
-	node := newJSONNode()
+func (c *postgresConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
+	node := newJSONNodeIn(ar)
 	sawType := false
 	prop := func(cat core.PropertyCategory, name string) error {
 		v, err := sc.scanValue()
 		if err != nil {
 			return err
 		}
-		addTypedProp(node, cat, name, v)
+		addTypedProp(ar, node, cat, name, v)
 		return nil
 	}
 	err := sc.scanObject(func(key string) error {
@@ -125,11 +123,11 @@ func (c *postgresConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				child, err := c.scanJSONNode(sc)
+				child, err := c.scanJSONNode(sc, ar)
 				if err != nil {
 					return err
 				}
-				node.Children = append(node.Children, child)
+				ar.AddChildIn(node, child)
 				return nil
 			})
 		case "Parent Relationship":
@@ -166,7 +164,7 @@ func (c *postgresConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 
 // convertXML parses the PostgreSQL XML explain format: nested <Plan>
 // elements with dash-separated tag names.
-func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
+func (c *postgresConverter) convertXML(s string, ar *core.PlanArena) (*core.Plan, error) {
 	type xmlPlan struct {
 		XMLName  xml.Name
 		Children []xmlPlan `xml:",any"`
@@ -179,7 +177,7 @@ func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
 	plan := &core.Plan{Source: "postgresql"}
 	var buildNode func(el xmlPlan) *core.Node
 	buildNode = func(el xmlPlan) *core.Node {
-		node := &core.Node{}
+		node := newJSONNodeIn(ar)
 		for _, ch := range el.Children {
 			tag := strings.ReplaceAll(ch.XMLName.Local, "-", " ")
 			val := strings.TrimSpace(ch.Text)
@@ -189,22 +187,22 @@ func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
 			case "Plans":
 				for _, sub := range ch.Children {
 					if sub.XMLName.Local == "Plan" {
-						node.Children = append(node.Children, buildNode(sub))
+						ar.AddChildIn(node, buildNode(sub))
 					}
 				}
 			case "Startup-Cost":
-				addTypedProp(node, core.Cost, "startup cost", parseScalar(val))
+				addTypedProp(ar, node, core.Cost, "startup cost", parseScalar(val))
 			case "Total-Cost":
-				addTypedProp(node, core.Cost, "total cost", parseScalar(val))
+				addTypedProp(ar, node, core.Cost, "total cost", parseScalar(val))
 			case "Rows":
-				addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(val))
+				addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(val))
 			case "Width":
-				addTypedProp(node, core.Cardinality, "estimated width", parseScalar(val))
+				addTypedProp(ar, node, core.Cardinality, "estimated width", parseScalar(val))
 			case "Relation-Name":
-				addTypedProp(node, core.Configuration, "name object", parseScalar(val))
+				addTypedProp(ar, node, core.Configuration, "name object", parseScalar(val))
 			default:
 				name, cat := c.reg.ResolveProperty("postgresql", tag)
-				addTypedProp(node, cat, name, parseScalar(val))
+				addTypedProp(ar, node, cat, name, parseScalar(val))
 			}
 		}
 		return node
@@ -222,7 +220,7 @@ func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
 				if val != "" && len(ch.Children) == 0 {
 					tag := strings.ReplaceAll(ch.XMLName.Local, "-", " ")
 					name, cat := c.reg.ResolveProperty("postgresql", tag)
-					addPlanPropTyped(plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
+					addPlanPropTyped(ar, plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
 				}
 			}
 		}
@@ -239,13 +237,13 @@ func (c *postgresConverter) convertXML(s string) (*core.Plan, error) {
 // convertYAML parses the PostgreSQL YAML explain format (the subset the
 // serializer emits: two-space indentation, "Plans:" lists with "- "
 // items).
-func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
+func (c *postgresConverter) convertYAML(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "postgresql"}
 	type frame struct {
 		node   *core.Node
 		indent int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for it := newLineIter(s); it.next(); {
 		raw := it.line
 		if strings.TrimSpace(raw) == "" || strings.TrimSpace(raw) == "- Plan:" {
@@ -253,10 +251,8 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 		}
 		indent := indentDepth(raw)
 		line := strings.TrimSpace(raw)
-		newNode := false
 		if strings.HasPrefix(line, "- ") {
 			line = strings.TrimPrefix(line, "- ")
-			newNode = true
 			indent += 2 // the dash occupies the key's indentation
 		}
 		key, val, ok := splitKV(line)
@@ -268,7 +264,8 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 			continue
 		}
 		if key == "Node Type" {
-			node := &core.Node{Op: c.reg.ResolveOperation("postgresql", val)}
+			op := c.reg.ResolveOperation("postgresql", val)
+			node := ar.NewNodeIn(op.Category, op.Name)
 			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
 				stack = stack[:len(stack)-1]
 			}
@@ -277,32 +274,30 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 					plan.Root = node
 				}
 			} else {
-				p := stack[len(stack)-1].node
-				p.Children = append(p.Children, node)
+				ar.AddChildIn(stack[len(stack)-1].node, node)
 			}
 			stack = append(stack, frame{node, indent})
 			continue
 		}
-		_ = newNode
 		if len(stack) == 0 {
 			name, cat := c.reg.ResolveProperty("postgresql", key)
-			addPlanPropTyped(plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
+			addPlanPropTyped(ar, plan, cat, name, parseScalar(strings.TrimSuffix(val, " ms")))
 			continue
 		}
 		node := stack[len(stack)-1].node
 		switch key {
 		case "Startup Cost":
-			addTypedProp(node, core.Cost, "startup cost", parseScalar(val))
+			addTypedProp(ar, node, core.Cost, "startup cost", parseScalar(val))
 		case "Total Cost":
-			addTypedProp(node, core.Cost, "total cost", parseScalar(val))
+			addTypedProp(ar, node, core.Cost, "total cost", parseScalar(val))
 		case "Rows":
-			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(val))
+			addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(val))
 		case "Width":
-			addTypedProp(node, core.Cardinality, "estimated width", parseScalar(val))
+			addTypedProp(ar, node, core.Cardinality, "estimated width", parseScalar(val))
 		case "Relation Name":
-			addTypedProp(node, core.Configuration, "name object", parseScalar(val))
+			addTypedProp(ar, node, core.Configuration, "name object", parseScalar(val))
 		default:
-			addProp(c.reg, "postgresql", node, key, val)
+			addProp(c.reg, "postgresql", ar, node, key, val)
 		}
 	}
 	if plan.Root == nil {
@@ -313,8 +308,9 @@ func (c *postgresConverter) convertYAML(s string) (*core.Plan, error) {
 
 // ------------------------------------------------------------ MySQL (JSON)
 
-func (c *mysqlConverter) convertJSON(s string) (*core.Plan, error) {
+func (c *mysqlConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
+	sc.ar = ar
 	plan := &core.Plan{Source: "mysql"}
 	foundQB := false
 	err := sc.scanObject(func(key string) error {
@@ -336,14 +332,14 @@ func (c *mysqlConverter) convertJSON(s string) (*core.Plan, error) {
 					if err != nil {
 						return err
 					}
-					addPlanPropTyped(plan, core.Cost, "total cost", v)
+					addPlanPropTyped(ar, plan, core.Cost, "total cost", v)
 					return nil
 				})
 			case "plan":
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				root, err := c.scanJSONNode(&sc)
+				root, err := c.scanJSONNode(&sc, ar)
 				if err != nil {
 					return err
 				}
@@ -366,12 +362,14 @@ func (c *mysqlConverter) convertJSON(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func addPlanPropTyped(p *core.Plan, cat core.PropertyCategory, name string, v core.Value) {
-	p.Properties = append(p.Properties, core.Property{Category: cat, Name: name, Value: v})
+// addPlanPropTyped appends a plan-level property with an explicit
+// category, allocating from ar when non-nil.
+func addPlanPropTyped(ar *core.PlanArena, p *core.Plan, cat core.PropertyCategory, name string, v core.Value) {
+	ar.AddPlanPropertyIn(p, cat, name, v)
 }
 
-func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
-	node := newJSONNode()
+func (c *mysqlConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
+	node := newJSONNodeIn(ar)
 	sawOp := false
 	err := sc.scanObject(func(key string) error {
 		switch key {
@@ -380,9 +378,7 @@ func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 			if err != nil || !ok {
 				return err
 			}
-			parsed := c.parseTreeLine(title)
-			node.Op = parsed.Op
-			node.Properties = append(node.Properties, parsed.Properties...)
+			c.parseTreeLineInto(node, title, ar)
 			sawOp = true
 			return nil
 		case "cost_info":
@@ -395,7 +391,7 @@ func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 					return err
 				}
 				pname, cat := c.reg.ResolveProperty("mysql", ck)
-				addTypedProp(node, cat, pname, v)
+				addTypedProp(ar, node, cat, pname, v)
 				return nil
 			})
 		case "inputs":
@@ -406,11 +402,11 @@ func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				child, err := c.scanJSONNode(sc)
+				child, err := c.scanJSONNode(sc, ar)
 				if err != nil {
 					return err
 				}
-				node.Children = append(node.Children, child)
+				ar.AddChildIn(node, child)
 				return nil
 			})
 		case "rows_examined_per_scan":
@@ -418,14 +414,14 @@ func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 			if err != nil {
 				return err
 			}
-			addTypedProp(node, core.Cardinality, "estimated rows", v)
+			addTypedProp(ar, node, core.Cardinality, "estimated rows", v)
 			return nil
 		case "actual_rows":
 			v, err := sc.scanValue()
 			if err != nil {
 				return err
 			}
-			addTypedProp(node, core.Cardinality, "actual rows", v)
+			addTypedProp(ar, node, core.Cardinality, "actual rows", v)
 			return nil
 		default:
 			v, err := sc.scanValue()
@@ -433,7 +429,7 @@ func (c *mysqlConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				return err
 			}
 			pname, cat := c.reg.ResolveProperty("mysql", key)
-			addTypedProp(node, cat, pname, v)
+			addTypedProp(ar, node, cat, pname, v)
 			return nil
 		}
 	})
@@ -458,8 +454,9 @@ type tidbJSONFields struct {
 	OperatorInfo string
 }
 
-func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
+func (c *tidbConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
+	sc.ar = ar
 	var root *core.Node
 	switch sc.peek() {
 	case '[':
@@ -469,7 +466,7 @@ func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
 			// decoded: the legacy json.Unmarshal reference type-checked
 			// the whole array, and skipping would accept documents it
 			// rejected.
-			n, err := c.scanJSONNode(&sc)
+			n, err := c.scanJSONNode(&sc, ar)
 			if err != nil {
 				return err
 			}
@@ -485,7 +482,7 @@ func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
 			return nil, fmt.Errorf("convert: tidb json: empty plan")
 		}
 	case '{':
-		n, err := c.scanJSONNode(&sc)
+		n, err := c.scanJSONNode(&sc, ar)
 		if err != nil {
 			return nil, fmt.Errorf("convert: tidb json: %w", err)
 		}
@@ -503,7 +500,7 @@ func (c *tidbConverter) convertJSON(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *tidbConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
+func (c *tidbConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	var in tidbJSONFields
 	var children []*core.Node
 	strField := func(dst *string) error {
@@ -539,11 +536,11 @@ func (c *tidbConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				return sc.scanLiteral("null")
 			}
 			return sc.scanArray(func(int) error {
-				child, err := c.scanJSONNode(sc)
+				child, err := c.scanJSONNode(sc, ar)
 				if err != nil {
 					return err
 				}
-				children = append(children, child)
+				children = ar.AppendChildIn(children, child)
 				return nil
 			})
 		default:
@@ -553,35 +550,36 @@ func (c *tidbConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	node := c.nodeFromJSONFields(in)
+	node := c.nodeFromJSONFields(in, ar)
 	node.Children = children
 	return node, nil
 }
 
 // nodeFromJSONFields maps one operator object's scalar fields onto a node;
 // shared by the streaming decoder above and the legacy reference decoder.
-func (c *tidbConverter) nodeFromJSONFields(in tidbJSONFields) *core.Node {
+func (c *tidbConverter) nodeFromJSONFields(in tidbJSONFields, ar *core.PlanArena) *core.Node {
 	base, suffix := stripOperatorSuffix(in.ID)
-	node := &core.Node{Op: c.reg.ResolveOperation("tidb", base)}
+	op := c.reg.ResolveOperation("tidb", base)
+	node := ar.NewNodeIn(op.Category, op.Name)
 	if suffix != "" {
-		addTypedProp(node, core.Status, "operator id", core.Str(suffix))
+		addTypedProp(ar, node, core.Status, "operator id", core.Str(suffix))
 	}
 	if in.EstRows != "" {
-		addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(in.EstRows))
+		addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(in.EstRows))
 	}
 	if in.ActRows != "" {
-		addTypedProp(node, core.Cardinality, "actual rows", parseScalar(in.ActRows))
+		addTypedProp(ar, node, core.Cardinality, "actual rows", parseScalar(in.ActRows))
 	}
 	if in.TaskType != "" {
 		name, cat := c.reg.ResolveProperty("tidb", "task")
-		addTypedProp(node, cat, name, core.Str(in.TaskType))
+		addTypedProp(ar, node, cat, name, core.Str(in.TaskType))
 	}
 	if in.AccessObject != "" {
-		addTypedProp(node, core.Configuration, "access object", core.Str(in.AccessObject))
+		addTypedProp(ar, node, core.Configuration, "access object", core.Str(in.AccessObject))
 	}
 	if in.OperatorInfo != "" {
 		name, cat := c.reg.ResolveProperty("tidb", "operator info")
-		addTypedProp(node, cat, name, core.Str(in.OperatorInfo))
+		addTypedProp(ar, node, cat, name, core.Str(in.OperatorInfo))
 	}
 	return node
 }
@@ -593,7 +591,12 @@ type mongoConverter struct{ reg *core.Registry }
 func (c *mongoConverter) Dialect() string { return "mongodb" }
 
 func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *mongoConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
+	sc.ar = ar
 	plan := &core.Plan{Source: "mongodb"}
 	foundQP := false
 	err := sc.scanObject(func(key string) error {
@@ -610,13 +613,13 @@ func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
 					if err != nil {
 						return err
 					}
-					addPlanPropTyped(plan, core.Configuration, "name object", v)
+					addPlanPropTyped(ar, plan, core.Configuration, "name object", v)
 					return nil
 				case "winningPlan":
 					if sc.peek() != '{' {
 						return sc.skipValue()
 					}
-					root, err := c.scanStage(&sc)
+					root, err := c.scanStage(&sc, ar)
 					if err != nil {
 						return err
 					}
@@ -636,7 +639,7 @@ func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
 					return err
 				}
 				name, cat := c.reg.ResolveProperty("mongodb", ek)
-				addPlanPropTyped(plan, cat, name, v)
+				addPlanPropTyped(ar, plan, cat, name, v)
 				return nil
 			})
 		default:
@@ -655,8 +658,8 @@ func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
-	node := newJSONNode()
+func (c *mongoConverter) scanStage(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
+	node := newJSONNodeIn(ar)
 	sawStage := false
 	// inputStage precedes inputStages in the children, whatever the
 	// document's key order (the legacy decoder's fixed attachment order).
@@ -678,7 +681,7 @@ func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
 			if sc.peek() != '{' {
 				return sc.skipValue()
 			}
-			child, err := c.scanStage(sc)
+			child, err := c.scanStage(sc, ar)
 			if err != nil {
 				return err
 			}
@@ -692,11 +695,11 @@ func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				child, err := c.scanStage(sc)
+				child, err := c.scanStage(sc, ar)
 				if err != nil {
 					return err
 				}
-				rest = append(rest, child)
+				rest = ar.AppendChildIn(rest, child)
 				return nil
 			})
 		case "namespace":
@@ -704,7 +707,7 @@ func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
 			if err != nil {
 				return err
 			}
-			addTypedProp(node, core.Configuration, "name object", v)
+			addTypedProp(ar, node, core.Configuration, "name object", v)
 			return nil
 		default:
 			v, err := sc.scanValue()
@@ -712,7 +715,7 @@ func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
 				return err
 			}
 			pname, cat := c.reg.ResolveProperty("mongodb", key)
-			addTypedProp(node, cat, pname, v)
+			addTypedProp(ar, node, cat, pname, v)
 			return nil
 		}
 	})
@@ -723,23 +726,26 @@ func (c *mongoConverter) scanStage(sc *jsonScan) (*core.Node, error) {
 		node.Op = c.reg.ResolveOperation("mongodb", "")
 	}
 	if first != nil {
-		node.Children = append(node.Children, first)
+		ar.AddChildIn(node, first)
 	}
-	node.Children = append(node.Children, rest...)
+	for _, r := range rest {
+		ar.AddChildIn(node, r)
+	}
 	return node, nil
 }
 
 // ------------------------------------------------------------ Neo4j (JSON)
 
-func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
+func (c *neo4jConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
+	sc.ar = ar
 	plan := &core.Plan{Source: "neo4j"}
 	err := sc.scanObject(func(key string) error {
 		if key == "plan" {
 			if sc.peek() != '{' {
 				return sc.skipValue()
 			}
-			root, err := c.scanJSONNode(&sc)
+			root, err := c.scanJSONNode(&sc, ar)
 			if err != nil {
 				return err
 			}
@@ -751,7 +757,7 @@ func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
 			return err
 		}
 		name, cat := c.reg.ResolveProperty("neo4j", key)
-		addPlanPropTyped(plan, cat, name, v)
+		addPlanPropTyped(ar, plan, cat, name, v)
 		return nil
 	})
 	if err != nil {
@@ -763,8 +769,8 @@ func (c *neo4jConverter) convertJSON(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *neo4jConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
-	node := newJSONNode()
+func (c *neo4jConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
+	node := newJSONNodeIn(ar)
 	sawOp := false
 	err := sc.scanObject(func(key string) error {
 		switch key {
@@ -789,12 +795,12 @@ func (c *neo4jConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				}
 				switch ak {
 				case "EstimatedRows":
-					addTypedProp(node, core.Cardinality, "estimated rows", v)
+					addTypedProp(ar, node, core.Cardinality, "estimated rows", v)
 				case "Rows":
-					addTypedProp(node, core.Cardinality, "actual rows", v)
+					addTypedProp(ar, node, core.Cardinality, "actual rows", v)
 				default:
 					pname, cat := c.reg.ResolveProperty("neo4j", ak)
-					addTypedProp(node, cat, pname, v)
+					addTypedProp(ar, node, cat, pname, v)
 				}
 				return nil
 			})
@@ -806,11 +812,11 @@ func (c *neo4jConverter) scanJSONNode(sc *jsonScan) (*core.Node, error) {
 				if sc.peek() != '{' {
 					return sc.skipValue()
 				}
-				child, err := c.scanJSONNode(sc)
+				child, err := c.scanJSONNode(sc, ar)
 				if err != nil {
 					return err
 				}
-				node.Children = append(node.Children, child)
+				ar.AddChildIn(node, child)
 				return nil
 			})
 		default:
@@ -847,13 +853,17 @@ type ssObject struct {
 }
 
 func (c *sqlserverConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *sqlserverConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	if !strings.Contains(s, "<ShowPlanXML") {
 		// SHOWPLAN_TEXT / STATISTICS PROFILE tabular fallbacks.
 		if strings.HasPrefix(strings.TrimSpace(s), "+") {
-			return c.convertProfileTable(s)
+			return c.convertProfileTable(s, ar)
 		}
 		if strings.Contains(s, "StmtText") {
-			return c.convertText(s)
+			return c.convertText(s, ar)
 		}
 		return nil, fmt.Errorf("convert: sqlserver: unrecognized input")
 	}
@@ -870,7 +880,7 @@ func (c *sqlserverConverter) Convert(s string) (*core.Plan, error) {
 			if err := dec.DecodeElement(&rel, &se); err != nil {
 				return nil, fmt.Errorf("convert: sqlserver xml: %w", err)
 			}
-			plan.Root = c.relOpNode(rel)
+			plan.Root = c.relOpNode(rel, ar)
 			break
 		}
 	}
@@ -880,31 +890,32 @@ func (c *sqlserverConverter) Convert(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *sqlserverConverter) relOpNode(rel ssRelOp) *core.Node {
-	node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", rel.PhysicalOp)}
+func (c *sqlserverConverter) relOpNode(rel ssRelOp, ar *core.PlanArena) *core.Node {
+	op := c.reg.ResolveOperation("sqlserver", rel.PhysicalOp)
+	node := ar.NewNodeIn(op.Category, op.Name)
 	if rel.EstimateRows != "" {
 		name, cat := c.reg.ResolveProperty("sqlserver", "EstimateRows")
-		addTypedProp(node, cat, name, parseScalar(rel.EstimateRows))
+		addTypedProp(ar, node, cat, name, parseScalar(rel.EstimateRows))
 	}
 	if rel.EstimatedCost != "" {
 		name, cat := c.reg.ResolveProperty("sqlserver", "EstimatedTotalSubtreeCost")
-		addTypedProp(node, cat, name, parseScalar(rel.EstimatedCost))
+		addTypedProp(ar, node, cat, name, parseScalar(rel.EstimatedCost))
 	}
 	if rel.LogicalOp != "" {
-		addTypedProp(node, core.Configuration, "logical operation", core.Str(rel.LogicalOp))
+		addTypedProp(ar, node, core.Configuration, "logical operation", core.Str(rel.LogicalOp))
 	}
 	if rel.Object.Table != "" {
-		addTypedProp(node, core.Configuration, "name object",
+		addTypedProp(ar, node, core.Configuration, "name object",
 			core.Str(strings.Trim(rel.Object.Table, "[]")))
 	}
 	// Extract simple child elements (e.g. <Predicate>…</Predicate>) from
 	// the inner XML, skipping nested RelOps which are handled structurally.
 	for key, val := range simpleXMLElements(rel.InnerXML) {
 		name, cat := c.reg.ResolveProperty("sqlserver", key)
-		addTypedProp(node, cat, name, parseScalar(val))
+		addTypedProp(ar, node, cat, name, parseScalar(val))
 	}
 	for _, child := range rel.Children {
-		node.Children = append(node.Children, c.relOpNode(child))
+		ar.AddChildIn(node, c.relOpNode(child, ar))
 	}
 	return node
 }
@@ -953,7 +964,7 @@ func simpleXMLElements(fragment []byte) map[string]string {
 
 // convertProfileTable parses SET STATISTICS PROFILE tabular output: the
 // StmtText column carries a "|--" tree indented two spaces per level.
-func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
+func (c *sqlserverConverter) convertProfileTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	rows, header, err := parseAlignedTable(s)
 	if err != nil {
 		return nil, err
@@ -979,7 +990,7 @@ func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for _, r := range rows {
 		cell := r[stmtIdx]
 		bar := strings.Index(cell, "|--")
@@ -993,21 +1004,22 @@ func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
 		if i := strings.IndexAny(body, "(["); i > 0 {
 			name = strings.TrimSpace(body[:i])
 		}
-		node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", name)}
+		op := c.reg.ResolveOperation("sqlserver", name)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		if i := strings.Index(body, "(["); i >= 0 {
 			rest := body[i+2:]
 			if j := strings.Index(rest, "]"); j >= 0 {
-				addTypedProp(node, core.Configuration, "name object", core.Str(rest[:j]))
+				addTypedProp(ar, node, core.Configuration, "name object", core.Str(rest[:j]))
 			}
 		}
 		if estIdx >= 0 && strings.TrimSpace(r[estIdx]) != "" {
-			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(r[estIdx]))
+			addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(r[estIdx]))
 		}
 		if costIdx >= 0 && strings.TrimSpace(r[costIdx]) != "" {
-			addTypedProp(node, core.Cost, "total cost", parseScalar(r[costIdx]))
+			addTypedProp(ar, node, core.Cost, "total cost", parseScalar(r[costIdx]))
 		}
 		if rowsIdx >= 0 && strings.TrimSpace(r[rowsIdx]) != "" {
-			addTypedProp(node, core.Cardinality, "actual rows", parseScalar(r[rowsIdx]))
+			addTypedProp(ar, node, core.Cardinality, "actual rows", parseScalar(r[rowsIdx]))
 		}
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
@@ -1018,8 +1030,7 @@ func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
 			}
 			plan.Root = node
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -1030,13 +1041,13 @@ func (c *sqlserverConverter) convertProfileTable(s string) (*core.Plan, error) {
 }
 
 // convertText parses SHOWPLAN_TEXT output: "|--" nesting.
-func (c *sqlserverConverter) convertText(s string) (*core.Plan, error) {
+func (c *sqlserverConverter) convertText(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "sqlserver"}
 	type frame struct {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for it := newLineIter(s); it.next(); {
 		line := strings.TrimRight(it.line, " ")
 		t := strings.TrimSpace(line)
@@ -1057,18 +1068,19 @@ func (c *sqlserverConverter) convertText(s string) (*core.Plan, error) {
 		if i := strings.Index(name, " WHERE:"); i > 0 {
 			name = strings.TrimSpace(name[:i])
 		}
-		node := &core.Node{Op: c.reg.ResolveOperation("sqlserver", name)}
+		op := c.reg.ResolveOperation("sqlserver", name)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		if i := strings.Index(body, "OBJECT:(["); i >= 0 {
 			rest := body[i+9:]
 			if j := strings.Index(rest, "]"); j >= 0 {
-				addTypedProp(node, core.Configuration, "name object", core.Str(rest[:j]))
+				addTypedProp(ar, node, core.Configuration, "name object", core.Str(rest[:j]))
 			}
 		}
 		if i := strings.Index(body, "WHERE:("); i >= 0 {
 			rest := body[i+7:]
 			if j := strings.LastIndex(rest, ")"); j >= 0 {
 				name, cat := c.reg.ResolveProperty("sqlserver", "Predicate")
-				addTypedProp(node, cat, name, core.Str(rest[:j]))
+				addTypedProp(ar, node, cat, name, core.Str(rest[:j]))
 			}
 		}
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
@@ -1080,8 +1092,7 @@ func (c *sqlserverConverter) convertText(s string) (*core.Plan, error) {
 			}
 			plan.Root = node
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}

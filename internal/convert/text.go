@@ -10,6 +10,14 @@ import (
 // Text-format parsers: PostgreSQL EXPLAIN text, MySQL TREE, TiDB table,
 // SQLite EXPLAIN QUERY PLAN, SparkSQL physical plan, Neo4j plan table, and
 // InfluxDB's property list.
+//
+// All of them are arena-native: ConvertIn builds nodes, property lists,
+// and child lists inside the caller's core.PlanArena (nil falls back to
+// the heap), walks the input with the index-based line iterator, and
+// slices every field — operator names, object names, property values —
+// straight out of the input string without copying. Convert routes
+// through a pooled arena plus a compact detach (see convertPooled), so
+// even the convenience path batches its allocations.
 
 // -------------------------------------------------------------- PostgreSQL
 
@@ -18,28 +26,32 @@ type postgresConverter struct{ reg *core.Registry }
 func (c *postgresConverter) Dialect() string { return "postgresql" }
 
 func (c *postgresConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *postgresConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	t := strings.TrimSpace(s)
 	switch {
 	case strings.HasPrefix(t, "[") || strings.HasPrefix(t, "{"):
-		return c.convertJSON(s)
+		return c.convertJSON(s, ar)
 	case strings.HasPrefix(t, "<explain"):
-		return c.convertXML(s)
+		return c.convertXML(s, ar)
 	case strings.HasPrefix(t, "- Plan:"):
-		return c.convertYAML(s)
+		return c.convertYAML(s, ar)
 	}
-	return c.convertText(s)
+	return c.convertText(s, ar)
 }
 
 // convertText parses the EXPLAIN text format: node lines carry a
 // "(cost=…)" annotation; "->" arrows encode nesting (6 columns per level);
 // property lines sit under their node; plan lines trail at column 0.
-func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
+func (c *postgresConverter) convertText(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "postgresql"}
 	type frame struct {
 		node *core.Node
 		col  int // column of the operator name
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	sawTree := false
 	for it := newLineIter(s); it.next(); {
 		raw := it.line
@@ -47,8 +59,8 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 			continue
 		}
 		arrow := strings.Index(raw, "->")
-		isNode := strings.Contains(raw, "(cost=") &&
-			(arrow >= 0 || indentDepth(raw) == 0)
+		costIdx := strings.Index(raw, "(cost=")
+		isNode := costIdx >= 0 && (arrow >= 0 || indentDepth(raw) == 0)
 		switch {
 		case isNode:
 			nameCol := 0
@@ -57,7 +69,7 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 				nameCol = arrow + 4
 				text = raw[arrow+2:]
 			}
-			node, err := c.parseNodeLine(strings.TrimSpace(text))
+			node, err := c.parseNodeLine(strings.TrimSpace(text), ar)
 			if err != nil {
 				return nil, fmt.Errorf("convert: line %d: %w", it.n, err)
 			}
@@ -70,8 +82,7 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 				}
 				plan.Root = node
 			} else {
-				parent := stack[len(stack)-1].node
-				parent.Children = append(parent.Children, node)
+				ar.AddChildIn(stack[len(stack)-1].node, node)
 			}
 			stack = append(stack, frame{node: node, col: nameCol})
 			sawTree = true
@@ -81,7 +92,7 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 			if !ok {
 				return nil, fmt.Errorf("convert: line %d: unparseable plan line %q", it.n, raw)
 			}
-			addPlanProp(c.reg, "postgresql", plan, key, strings.TrimSuffix(val, " ms"))
+			addPlanProp(c.reg, "postgresql", ar, plan, key, strings.TrimSuffix(val, " ms"))
 		default:
 			// Node property line; belongs to the deepest open node.
 			if len(stack) == 0 {
@@ -91,7 +102,7 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 			if !ok {
 				continue // tolerate free-form annotation lines
 			}
-			addProp(c.reg, "postgresql", stack[len(stack)-1].node, key, val)
+			addProp(c.reg, "postgresql", ar, stack[len(stack)-1].node, key, val)
 		}
 	}
 	if !sawTree && plan.Root == nil && len(plan.Properties) == 0 {
@@ -101,7 +112,7 @@ func (c *postgresConverter) convertText(s string) (*core.Plan, error) {
 }
 
 // parseNodeLine parses `Name on obj  (cost=a..b rows=N width=W) [actual…]`.
-func (c *postgresConverter) parseNodeLine(line string) (*core.Node, error) {
+func (c *postgresConverter) parseNodeLine(line string, ar *core.PlanArena) (*core.Node, error) {
 	costIdx := strings.Index(line, "(cost=")
 	if costIdx < 0 {
 		return nil, fmt.Errorf("operator line without cost annotation: %q", line)
@@ -115,25 +126,25 @@ func (c *postgresConverter) parseNodeLine(line string) (*core.Node, error) {
 		object = title[i+4:]
 	}
 	op := c.reg.ResolveOperation("postgresql", name)
-	node := &core.Node{Op: op}
+	node := ar.NewNodeIn(op.Category, op.Name)
 	if object != "" {
-		addTypedProp(node, core.Configuration, "name object", core.Str(object))
+		addTypedProp(ar, node, core.Configuration, "name object", core.Str(object))
 	}
 	// Parse cost annotation pieces.
 	if se, te, ok := parseCostRange(ann, "cost="); ok {
-		addTypedProp(node, core.Cost, "startup cost", core.Num(se))
-		addTypedProp(node, core.Cost, "total cost", core.Num(te))
+		addTypedProp(ar, node, core.Cost, "startup cost", core.Num(se))
+		addTypedProp(ar, node, core.Cost, "total cost", core.Num(te))
 	}
 	if v, ok := parseKVNum(ann, "rows=", false); ok {
-		addTypedProp(node, core.Cardinality, "estimated rows", core.Num(v))
+		addTypedProp(ar, node, core.Cardinality, "estimated rows", core.Num(v))
 	}
 	if v, ok := parseKVNum(ann, "width=", false); ok {
-		addTypedProp(node, core.Cardinality, "estimated width", core.Num(v))
+		addTypedProp(ar, node, core.Cardinality, "estimated width", core.Num(v))
 	}
 	if _, at, ok := parseCostRange(ann, "actual time="); ok {
-		addTypedProp(node, core.Status, "actual time", core.Num(at))
+		addTypedProp(ar, node, core.Status, "actual time", core.Num(at))
 		if v, ok := parseKVNum(ann, "rows=", true); ok {
-			addTypedProp(node, core.Cardinality, "actual rows", core.Num(v))
+			addTypedProp(ar, node, core.Cardinality, "actual rows", core.Num(v))
 		}
 	}
 	return node, nil
@@ -151,7 +162,8 @@ func splitKV(raw string) (string, string, bool) {
 	return t[:i], t[i+2:], true
 }
 
-// parseCostRange extracts "key=a..b" returning both numbers.
+// parseCostRange extracts "key=a..b" returning both numbers; the range is
+// split in place (no intermediate slice).
 func parseCostRange(s, key string) (float64, float64, bool) {
 	i := strings.Index(s, key)
 	if i < 0 {
@@ -162,12 +174,13 @@ func parseCostRange(s, key string) (float64, float64, bool) {
 	if end < 0 {
 		end = len(rest)
 	}
-	parts := strings.SplitN(rest[:end], "..", 2)
-	if len(parts) != 2 {
+	rest = rest[:end]
+	dots := strings.Index(rest, "..")
+	if dots < 0 {
 		return 0, 0, false
 	}
-	a := parseScalar(parts[0])
-	b := parseScalar(parts[1])
+	a := parseScalar(rest[:dots])
+	b := parseScalar(rest[dots+2:])
 	if a.Kind != core.KindNumber || b.Kind != core.KindNumber {
 		return 0, 0, false
 	}
@@ -215,24 +228,28 @@ var mysqlOperators = []string{
 }
 
 func (c *mysqlConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *mysqlConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	t := strings.TrimSpace(s)
 	if strings.HasPrefix(t, "{") {
-		return c.convertJSON(s)
+		return c.convertJSON(s, ar)
 	}
 	if strings.HasPrefix(t, "+--") || strings.HasPrefix(t, "| id") {
-		return c.convertTable(s)
+		return c.convertTable(s, ar)
 	}
-	return c.convertTree(s)
+	return c.convertTree(s, ar)
 }
 
 // convertTree parses EXPLAIN FORMAT=TREE: "-> " lines, 4 spaces/level.
-func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
+func (c *mysqlConverter) convertTree(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "mysql"}
 	type frame struct {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for it := newLineIter(s); it.next(); {
 		raw := it.line
 		if strings.TrimSpace(raw) == "" {
@@ -244,7 +261,7 @@ func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
 		}
 		depth := arrow / 4
 		title := strings.TrimSpace(raw[arrow+3:])
-		node := c.parseTreeLine(title)
+		node := c.parseTreeLine(title, ar)
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
 		}
@@ -254,8 +271,7 @@ func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
 			}
 			plan.Root = node
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -265,7 +281,16 @@ func (c *mysqlConverter) convertTree(s string) (*core.Plan, error) {
 	return plan, nil
 }
 
-func (c *mysqlConverter) parseTreeLine(title string) *core.Node {
+func (c *mysqlConverter) parseTreeLine(title string, ar *core.PlanArena) *core.Node {
+	node := ar.NewNodeIn("", "")
+	c.parseTreeLineInto(node, title, ar)
+	return node
+}
+
+// parseTreeLineInto parses a TREE operator title into an existing node —
+// the JSON decoder's "operation" strings reuse this without building (and
+// discarding) a second arena node per operator.
+func (c *mysqlConverter) parseTreeLineInto(node *core.Node, title string, ar *core.PlanArena) {
 	// Split off the cost/actual annotations.
 	detailEnd := len(title)
 	if i := strings.Index(title, "  (cost="); i >= 0 {
@@ -285,36 +310,35 @@ func (c *mysqlConverter) parseTreeLine(title string) *core.Node {
 			break
 		}
 	}
-	node := &core.Node{Op: c.reg.ResolveOperation("mysql", name)}
+	node.Op = c.reg.ResolveOperation("mysql", name)
 	rest = strings.TrimPrefix(rest, ":")
 	rest = strings.TrimSpace(rest)
 	if i := strings.Index(rest, " using "); i >= 0 {
-		addTypedProp(node, core.Configuration, "access object", core.Str(strings.TrimSpace(rest[i+7:])))
+		addTypedProp(ar, node, core.Configuration, "access object", core.Str(strings.TrimSpace(rest[i+7:])))
 		rest = strings.TrimSpace(rest[:i])
 	}
 	if strings.HasPrefix(rest, "on ") {
-		addTypedProp(node, core.Configuration, "name object", core.Str(strings.TrimPrefix(rest, "on ")))
+		addTypedProp(ar, node, core.Configuration, "name object", core.Str(strings.TrimPrefix(rest, "on ")))
 	} else if rest != "" {
 		name, cat := c.reg.ResolveProperty("mysql", "attached_condition")
-		addTypedProp(node, cat, name, core.Str(rest))
+		addTypedProp(ar, node, cat, name, core.Str(rest))
 	}
 	if v, ok := parseKVNum(ann, "cost=", false); ok {
-		addTypedProp(node, core.Cost, "total cost", core.Num(v))
+		addTypedProp(ar, node, core.Cost, "total cost", core.Num(v))
 	}
 	if v, ok := parseKVNum(ann, "rows=", false); ok {
-		addTypedProp(node, core.Cardinality, "estimated rows", core.Num(v))
+		addTypedProp(ar, node, core.Cardinality, "estimated rows", core.Num(v))
 	}
 	if i := strings.Index(ann, "actual time="); i >= 0 {
 		if v, ok := parseKVNum(ann[i:], "rows=", false); ok {
-			addTypedProp(node, core.Cardinality, "actual rows", core.Num(v))
+			addTypedProp(ar, node, core.Cardinality, "actual rows", core.Num(v))
 		}
 	}
-	return node
 }
 
 // convertTable parses the classic tabular EXPLAIN: each row is one table
 // access; the result is a left-deep chain.
-func (c *mysqlConverter) convertTable(s string) (*core.Plan, error) {
+func (c *mysqlConverter) convertTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	rows, header, err := parseASCIITable(s)
 	if err != nil {
 		return nil, err
@@ -343,23 +367,24 @@ func (c *mysqlConverter) convertTable(s string) (*core.Plan, error) {
 				opName = "Covering index scan"
 			}
 		}
-		node := &core.Node{Op: c.reg.ResolveOperation("mysql", opName)}
+		op := c.reg.ResolveOperation("mysql", opName)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		if tableIdx >= 0 && r[tableIdx] != "" {
-			addTypedProp(node, core.Configuration, "name object", core.Str(r[tableIdx]))
+			addTypedProp(ar, node, core.Configuration, "name object", core.Str(r[tableIdx]))
 		}
 		if keyIdx >= 0 && r[keyIdx] != "" && r[keyIdx] != "NULL" {
-			addTypedProp(node, core.Configuration, "access object", core.Str(r[keyIdx]))
+			addTypedProp(ar, node, core.Configuration, "access object", core.Str(r[keyIdx]))
 		}
 		if rowsIdx >= 0 && r[rowsIdx] != "" {
-			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(r[rowsIdx]))
+			addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(r[rowsIdx]))
 		}
 		if extraIdx >= 0 && r[extraIdx] != "" && r[extraIdx] != "NULL" {
-			addTypedProp(node, core.Configuration, "extra", core.Str(r[extraIdx]))
+			addTypedProp(ar, node, core.Configuration, "extra", core.Str(r[extraIdx]))
 		}
 		if plan.Root == nil {
 			plan.Root = node
 		} else {
-			prev.Children = append(prev.Children, node)
+			ar.AddChildIn(prev, node)
 		}
 		prev = node
 	}
@@ -398,7 +423,7 @@ func parseAlignedTable(s string) ([][]string, []string, error) {
 		if strings.HasPrefix(line, "+") {
 			continue
 		}
-		var cells []string
+		cells := make([]string, 0, len(spans))
 		for _, sp := range spans {
 			lo, hi := sp[0], sp[1]
 			if lo >= len(line) {
@@ -443,6 +468,9 @@ func parseASCIITable(s string) ([][]string, []string, error) {
 		// Walk the "|"-separated cells in place; the segment after the last
 		// "|" (usually empty) is dropped, as strings.Split-and-trim did.
 		var cells []string
+		if header != nil {
+			cells = make([]string, 0, len(header))
+		}
 		for rest := line[1:]; ; {
 			i := strings.IndexByte(rest, '|')
 			if i < 0 {
@@ -470,14 +498,18 @@ type tidbConverter struct{ reg *core.Registry }
 func (c *tidbConverter) Dialect() string { return "tidb" }
 
 func (c *tidbConverter) Convert(s string) (*core.Plan, error) {
-	t := strings.TrimSpace(s)
-	if strings.HasPrefix(t, "[") || strings.HasPrefix(t, "{") {
-		return c.convertJSON(s)
-	}
-	return c.convertTable(s)
+	return convertPooled(c, s)
 }
 
-func (c *tidbConverter) convertTable(s string) (*core.Plan, error) {
+func (c *tidbConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "[") || strings.HasPrefix(t, "{") {
+		return c.convertJSON(s, ar)
+	}
+	return c.convertTable(s, ar)
+}
+
+func (c *tidbConverter) convertTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	rows, header, err := parseAlignedTable(s)
 	if err != nil {
 		return nil, err
@@ -500,7 +532,7 @@ func (c *tidbConverter) convertTable(s string) (*core.Plan, error) {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for _, r := range rows {
 		id := r[idIdx]
 		depth := 0
@@ -513,23 +545,24 @@ func (c *tidbConverter) convertTable(s string) (*core.Plan, error) {
 			namePart = strings.TrimLeft(id[i:], "└├─ ")
 		}
 		base, suffix := stripOperatorSuffix(strings.TrimSpace(namePart))
-		node := &core.Node{Op: c.reg.ResolveOperation("tidb", base)}
+		op := c.reg.ResolveOperation("tidb", base)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		if suffix != "" {
-			addTypedProp(node, core.Status, "operator id", core.Str(suffix))
+			addTypedProp(ar, node, core.Status, "operator id", core.Str(suffix))
 		}
 		if estIdx >= 0 && r[estIdx] != "" {
-			addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(r[estIdx]))
+			addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(r[estIdx]))
 		}
 		if taskIdx >= 0 && r[taskIdx] != "" {
 			name, cat := c.reg.ResolveProperty("tidb", "task")
-			addTypedProp(node, cat, name, core.Str(r[taskIdx]))
+			addTypedProp(ar, node, cat, name, core.Str(r[taskIdx]))
 		}
 		if objIdx >= 0 && r[objIdx] != "" {
-			addTypedProp(node, core.Configuration, "access object", core.Str(r[objIdx]))
+			addTypedProp(ar, node, core.Configuration, "access object", core.Str(r[objIdx]))
 		}
 		if infoIdx >= 0 && r[infoIdx] != "" {
 			name, cat := c.reg.ResolveProperty("tidb", "operator info")
-			addTypedProp(node, cat, name, core.Str(r[infoIdx]))
+			addTypedProp(ar, node, cat, name, core.Str(r[infoIdx]))
 		}
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
@@ -540,8 +573,7 @@ func (c *tidbConverter) convertTable(s string) (*core.Plan, error) {
 			}
 			plan.Root = node
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -590,12 +622,18 @@ var sqliteOperators = []string{
 }
 
 func (c *sqliteConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *sqliteConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "sqlite"}
 	type frame struct {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
+	// The virtual root only collects top-level steps; it is never part of
+	// the returned tree, so it lives outside the arena.
 	virtualRoot := &core.Node{}
 	for it := newLineIter(s); it.next(); {
 		line := strings.TrimRight(it.line, " ")
@@ -620,15 +658,14 @@ func (c *sqliteConverter) Convert(s string) (*core.Plan, error) {
 			body = strings.TrimSpace(line)
 			break
 		}
-		node := c.parseLine(body)
+		node := c.parseLine(body, ar)
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
 		}
 		if len(stack) == 0 {
 			virtualRoot.Children = append(virtualRoot.Children, node)
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -641,12 +678,14 @@ func (c *sqliteConverter) Convert(s string) (*core.Plan, error) {
 		// Multiple top-level steps: SQLite's EQP is a list; wrap them under
 		// the first step to preserve order within one tree.
 		plan.Root = virtualRoot.Children[0]
-		plan.Root.Children = append(plan.Root.Children, virtualRoot.Children[1:]...)
+		for _, extra := range virtualRoot.Children[1:] {
+			ar.AddChildIn(plan.Root, extra)
+		}
 	}
 	return plan, nil
 }
 
-func (c *sqliteConverter) parseLine(body string) *core.Node {
+func (c *sqliteConverter) parseLine(body string, ar *core.PlanArena) *core.Node {
 	name := body
 	rest := ""
 	for _, opName := range sqliteOperators {
@@ -666,25 +705,26 @@ func (c *sqliteConverter) parseLine(body string) *core.Node {
 			break
 		}
 	}
-	node := &core.Node{Op: c.reg.ResolveOperation("sqlite", name)}
+	op := c.reg.ResolveOperation("sqlite", name)
+	node := ar.NewNodeIn(op.Category, op.Name)
 	if method != "" {
-		addTypedProp(node, core.Configuration, "method", core.Str(method))
+		addTypedProp(ar, node, core.Configuration, "method", core.Str(method))
 	}
 	if rest == "" {
 		return node
 	}
 	// "t1 USING AUTOMATIC COVERING INDEX (c0=?)" / "t0" / "t2 USING INDEX i".
 	if i := strings.Index(rest, " USING "); i >= 0 {
-		addTypedProp(node, core.Configuration, "name object", core.Str(rest[:i]))
+		addTypedProp(ar, node, core.Configuration, "name object", core.Str(rest[:i]))
 		using := rest[i+7:]
 		key := "USING INDEX"
 		if strings.Contains(using, "COVERING INDEX") {
 			key = "USING COVERING INDEX"
 		}
 		name, cat := c.reg.ResolveProperty("sqlite", key)
-		addTypedProp(node, cat, name, core.Str(using))
+		addTypedProp(ar, node, cat, name, core.Str(using))
 	} else {
-		addTypedProp(node, core.Configuration, "name object", core.Str(rest))
+		addTypedProp(ar, node, core.Configuration, "name object", core.Str(rest))
 	}
 	return node
 }
@@ -696,12 +736,16 @@ type sparkConverter struct{ reg *core.Registry }
 func (c *sparkConverter) Dialect() string { return "sparksql" }
 
 func (c *sparkConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *sparkConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "sparksql"}
 	type frame struct {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for it := newLineIter(s); it.next(); {
 		line := strings.TrimRight(it.line, " ")
 		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "== ") {
@@ -721,9 +765,10 @@ func (c *sparkConverter) Convert(s string) (*core.Plan, error) {
 			args = strings.TrimSpace(body[i:])
 		}
 		// "WholeStageCodegen (1)" keeps its stage id as a status property.
-		node := &core.Node{Op: c.reg.ResolveOperation("sparksql", name)}
+		op := c.reg.ResolveOperation("sparksql", name)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		if args != "" {
-			addTypedProp(node, core.Configuration, "args", core.Str(args))
+			addTypedProp(ar, node, core.Configuration, "args", core.Str(args))
 		}
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
@@ -734,8 +779,7 @@ func (c *sparkConverter) Convert(s string) (*core.Plan, error) {
 			}
 			plan.Root = node
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -752,37 +796,43 @@ type neo4jConverter struct{ reg *core.Registry }
 func (c *neo4jConverter) Dialect() string { return "neo4j" }
 
 func (c *neo4jConverter) Convert(s string) (*core.Plan, error) {
-	t := strings.TrimSpace(s)
-	if strings.HasPrefix(t, "{") {
-		return c.convertJSON(s)
-	}
-	return c.convertTable(s)
+	return convertPooled(c, s)
 }
 
-func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
+func (c *neo4jConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "{") {
+		return c.convertJSON(s, ar)
+	}
+	return c.convertTable(s, ar)
+}
+
+func (c *neo4jConverter) convertTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "neo4j"}
-	var tableLines []string
 	for it := newLineIter(s); it.next(); {
-		raw := it.line
-		line := strings.TrimSpace(raw)
+		line := strings.TrimSpace(it.line)
 		switch {
 		case strings.HasPrefix(line, "Planner "):
-			addPlanProp(c.reg, "neo4j", plan, "planner", strings.TrimPrefix(line, "Planner "))
+			addPlanProp(c.reg, "neo4j", ar, plan, "planner", strings.TrimPrefix(line, "Planner "))
 		case strings.HasPrefix(line, "Runtime version "):
-			addPlanProp(c.reg, "neo4j", plan, "runtime version", strings.TrimPrefix(line, "Runtime version "))
+			addPlanProp(c.reg, "neo4j", ar, plan, "runtime version", strings.TrimPrefix(line, "Runtime version "))
 		case strings.HasPrefix(line, "Total database accesses:"):
 			rest := strings.TrimPrefix(line, "Total database accesses:")
-			parts := strings.SplitN(rest, ",", 2)
-			addPlanProp(c.reg, "neo4j", plan, "DbHits", strings.TrimSpace(parts[0]))
-			if len(parts) == 2 {
-				mem := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(parts[1]), "total allocated memory:"))
-				addPlanProp(c.reg, "neo4j", plan, "Memory", mem)
+			first := rest
+			if i := strings.IndexByte(rest, ','); i >= 0 {
+				first = rest[:i]
+				mem := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), "total allocated memory:"))
+				addPlanProp(c.reg, "neo4j", ar, plan, "DbHits", strings.TrimSpace(first))
+				addPlanProp(c.reg, "neo4j", ar, plan, "Memory", mem)
+			} else {
+				addPlanProp(c.reg, "neo4j", ar, plan, "DbHits", strings.TrimSpace(first))
 			}
-		default:
-			tableLines = append(tableLines, raw)
 		}
 	}
-	rows, header, err := parseAlignedTable(strings.Join(tableLines, "\n"))
+	// The plan table itself parses straight from the input: aligned-table
+	// parsing skips the prefix/summary lines above on its own, so no
+	// filtered copy of the table lines is built.
+	rows, header, err := parseAlignedTable(s)
 	if err != nil {
 		if len(plan.Properties) > 0 {
 			return plan, nil
@@ -793,7 +843,7 @@ func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
 		node  *core.Node
 		depth int
 	}
-	var stack []frame
+	stack := make([]frame, 0, 8)
 	for _, cells := range rows {
 		opCell := cells[0]
 		plus := strings.Index(opCell, "+")
@@ -803,7 +853,8 @@ func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
 		// Nesting is encoded as "| " repetitions before the "+".
 		depth := strings.Count(opCell[:plus], "|")
 		name := strings.TrimSpace(opCell[plus+1:])
-		node := &core.Node{Op: c.reg.ResolveOperation("neo4j", name)}
+		op := c.reg.ResolveOperation("neo4j", name)
+		node := ar.NewNodeIn(op.Category, op.Name)
 		for i := 1; i < len(cells) && i < len(header); i++ {
 			val := strings.TrimSpace(cells[i])
 			if val == "" {
@@ -811,10 +862,10 @@ func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
 			}
 			key := header[i]
 			if strings.EqualFold(key, "Estimated Rows") {
-				addTypedProp(node, core.Cardinality, "estimated rows", parseScalar(val))
+				addTypedProp(ar, node, core.Cardinality, "estimated rows", parseScalar(val))
 				continue
 			}
-			addProp(c.reg, "neo4j", node, key, val)
+			addProp(c.reg, "neo4j", ar, node, key, val)
 		}
 		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
 			stack = stack[:len(stack)-1]
@@ -823,11 +874,10 @@ func (c *neo4jConverter) convertTable(s string) (*core.Plan, error) {
 			if plan.Root == nil {
 				plan.Root = node
 			} else {
-				plan.Root.Children = append(plan.Root.Children, node)
+				ar.AddChildIn(plan.Root, node)
 			}
 		} else {
-			p := stack[len(stack)-1].node
-			p.Children = append(p.Children, node)
+			ar.AddChildIn(stack[len(stack)-1].node, node)
 		}
 		stack = append(stack, frame{node, depth})
 	}
@@ -844,6 +894,10 @@ type influxConverter struct{ reg *core.Registry }
 func (c *influxConverter) Dialect() string { return "influxdb" }
 
 func (c *influxConverter) Convert(s string) (*core.Plan, error) {
+	return convertPooled(c, s)
+}
+
+func (c *influxConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "influxdb"}
 	for it := newLineIter(s); it.next(); {
 		line := strings.TrimSpace(it.line)
@@ -854,7 +908,7 @@ func (c *influxConverter) Convert(s string) (*core.Plan, error) {
 		if !ok {
 			continue
 		}
-		addPlanProp(c.reg, "influxdb", plan, key, val)
+		addPlanProp(c.reg, "influxdb", ar, plan, key, val)
 	}
 	if len(plan.Properties) == 0 {
 		return nil, fmt.Errorf("convert: no InfluxDB plan properties found")

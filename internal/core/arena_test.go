@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildArenaPlan constructs a small fixed plan through the arena builder
+// API; size scales the property count so growth paths are exercised.
+func buildArenaPlan(a *PlanArena, size int) *Plan {
+	plan := &Plan{Source: "test"}
+	a.AddPlanPropertyIn(plan, Status, "planning time", Num(1.5))
+	root := a.NewNodeIn(Join, "Hash Join")
+	for i := 0; i < size; i++ {
+		a.AddPropertyIn(root, Configuration, "key", Str("k"))
+	}
+	left := a.NewNodeIn(Producer, "Full Table Scan")
+	a.AddPropertyIn(left, Cardinality, "estimated rows", Num(100))
+	right := a.NewNodeIn(Producer, "Index Scan")
+	a.AddPropertyIn(right, Configuration, "name object", Str("t1"))
+	a.AddChildIn(root, left)
+	a.AddChildIn(root, right)
+	plan.Root = root
+	return plan
+}
+
+func TestArenaBuilderMatchesHeapBuilder(t *testing.T) {
+	for _, size := range []int{0, 1, 3, 17, 64} {
+		arena := NewPlanArena()
+		got := buildArenaPlan(arena, size)
+		want := buildArenaPlan(nil, size) // nil arena: plain heap construction
+		if !got.Equal(want) {
+			t.Fatalf("size %d: arena-built plan differs from heap-built plan:\n%s\nvs\n%s",
+				size, got.MarshalIndentedText(), want.MarshalIndentedText())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("size %d: arena-built plan invalid: %v", size, err)
+		}
+	}
+}
+
+// TestArenaInterleavedPropertyGrowth forces the relocation path: two nodes
+// alternate property appends, so neither block can stay at the slab
+// frontier for long.
+func TestArenaInterleavedPropertyGrowth(t *testing.T) {
+	arena := NewPlanArena()
+	a := arena.NewNodeIn(Producer, "A")
+	b := arena.NewNodeIn(Producer, "B")
+	for i := 0; i < 40; i++ {
+		arena.AddPropertyIn(a, Configuration, "pa", Num(float64(i)))
+		arena.AddPropertyIn(b, Configuration, "pb", Num(float64(-i)))
+	}
+	if len(a.Properties) != 40 || len(b.Properties) != 40 {
+		t.Fatalf("property counts: a=%d b=%d, want 40/40", len(a.Properties), len(b.Properties))
+	}
+	for i := 0; i < 40; i++ {
+		if a.Properties[i].Value.Num != float64(i) {
+			t.Fatalf("a.Properties[%d] = %v, want %d (relocation corrupted the block)", i, a.Properties[i].Value, i)
+		}
+		if b.Properties[i].Value.Num != float64(-i) {
+			t.Fatalf("b.Properties[%d] = %v, want %d", i, b.Properties[i].Value, -i)
+		}
+	}
+}
+
+// TestArenaUseAfterReset is the detach regression test: a plan cloned out
+// of an arena must be completely unaffected by a Reset and by subsequent
+// plans overwriting the recycled slabs.
+func TestArenaUseAfterReset(t *testing.T) {
+	arena := NewPlanArena()
+	original := buildArenaPlan(arena, 5)
+	pristine := buildArenaPlan(nil, 5)
+	detached := original.Clone()
+
+	arena.Reset()
+	// Overwrite the recycled slabs with a different, bigger plan.
+	clobber := &Plan{Source: "clobber"}
+	clobber.Root = arena.NewNodeIn(Executor, "Gather")
+	for i := 0; i < 50; i++ {
+		child := arena.NewNodeIn(Producer, "Seq Scan")
+		arena.AddPropertyIn(child, Cost, "total cost", Num(9999))
+		arena.AddChildIn(clobber.Root, child)
+	}
+
+	if !detached.Equal(pristine) {
+		t.Fatalf("detached clone changed after arena reset:\n%s\nwant\n%s",
+			detached.MarshalIndentedText(), pristine.MarshalIndentedText())
+	}
+	if g, w := detached.MarshalText(), pristine.MarshalText(); g != w {
+		t.Fatalf("detached clone text diverged after reset:\n%s\nwant\n%s", g, w)
+	}
+}
+
+// TestArenaSteadyStateAllocs guards the core arena promise: once the slabs
+// have grown to fit the workload, building the same plan again after Reset
+// performs zero allocations.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	arena := NewPlanArena()
+	buildArenaPlan(arena, 20) // warm the slabs
+	arena.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		p := buildArenaPlan(arena, 20)
+		_ = p.Root
+		arena.Reset()
+	})
+	// One heap allocation remains: the *Plan header itself, which always
+	// escapes to the caller.
+	if allocs > 1 {
+		t.Fatalf("steady-state arena build allocates %.1f times per plan, want <= 1", allocs)
+	}
+}
+
+func TestArenaIntern(t *testing.T) {
+	arena := NewPlanArena()
+	big := strings.Repeat("x", 100)
+	if got := arena.Intern(big); got != big {
+		t.Fatalf("long string changed by Intern")
+	}
+	s1 := arena.Intern(string([]byte("hello")))
+	s2 := arena.Intern(string([]byte("hello")))
+	if s1 != s2 {
+		t.Fatalf("interned strings differ")
+	}
+	// The canonical copy must survive Reset (documented contract).
+	arena.Reset()
+	if s3 := arena.Intern("hello"); s3 != s1 {
+		t.Fatalf("intern table lost entries across Reset")
+	}
+	var nilArena *PlanArena
+	if got := nilArena.Intern("abc"); got != "abc" {
+		t.Fatalf("nil arena Intern changed its input")
+	}
+	// Steady-state interning of known strings is allocation-free.
+	allocs := testing.AllocsPerRun(50, func() { arena.Intern("hello") })
+	if allocs != 0 {
+		t.Fatalf("interning a known string allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestCloneCompactIsolation verifies the compact layout cannot alias: an
+// append on one cloned node's property list must not clobber a sibling's
+// properties (full slice expressions), and mutating the original must not
+// show through the clone.
+func TestCloneCompactIsolation(t *testing.T) {
+	arena := NewPlanArena()
+	p := buildArenaPlan(arena, 3)
+	c := p.Clone()
+
+	left, right := c.Root.Children[0], c.Root.Children[1]
+	rightBefore := fmt.Sprintf("%v", right.Properties)
+	left.AddProperty(Status, "appended", Str("new"))
+	if got := fmt.Sprintf("%v", right.Properties); got != rightBefore {
+		t.Fatalf("appending to one cloned node clobbered its sibling: %s -> %s", rightBefore, got)
+	}
+
+	p.Root.Op.Name = "Mutated"
+	p.Root.Properties[0].Value = Str("mutated")
+	if c.Root.Op.Name == "Mutated" || c.Root.Properties[0].Value.Str == "mutated" {
+		t.Fatalf("clone shares storage with its original")
+	}
+}
+
+// TestCloneAllocationCount pins the compact layout: however many nodes the
+// plan has, Clone performs a constant number of allocations (plan header +
+// one backing array per kind).
+func TestCloneAllocationCount(t *testing.T) {
+	arena := NewPlanArena()
+	plan := &Plan{Source: "big"}
+	plan.Root = arena.NewNodeIn(Executor, "Gather")
+	arena.AddPlanPropertyIn(plan, Status, "planning time", Num(1))
+	for i := 0; i < 100; i++ {
+		n := arena.NewNodeIn(Producer, "Seq Scan")
+		arena.AddPropertyIn(n, Cardinality, "estimated rows", Num(float64(i)))
+		arena.AddPropertyIn(n, Cost, "total cost", Num(float64(i)))
+		arena.AddChildIn(plan.Root, n)
+	}
+	allocs := testing.AllocsPerRun(20, func() { plan.Clone() })
+	// Plan header + nodes array + properties array + children array, with
+	// a little slack for the runtime.
+	if allocs > 6 {
+		t.Fatalf("Clone of a 101-node plan allocates %.1f times, want <= 6", allocs)
+	}
+}

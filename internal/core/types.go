@@ -369,22 +369,61 @@ func (p *Plan) CountByCategory() map[OperationCategory]int {
 	return m
 }
 
-// Clone returns a deep copy of the plan.
+// Clone returns a deep copy of the plan in independent heap storage.
+//
+// The copy is laid out compactly: one backing array holds every node, one
+// holds every property list, and one holds every child-pointer list, so a
+// clone costs a constant number of allocations however large the tree is.
+// Each node's Properties and Children are full (three-index) sub-slices of
+// those arrays — appending to one after the clone reallocates instead of
+// clobbering a neighbor.
+//
+// Clone is also the detach operation of the arena memory model: a plan
+// built in a PlanArena aliases the arena's slabs, and Clone moves it into
+// storage the arena does not own, making the clone safe to use after the
+// arena is Reset. Strings (names, values) are immutable and shared with
+// the original rather than copied.
 func (p *Plan) Clone() *Plan {
 	if p == nil {
 		return nil
 	}
+	nNodes, nProps, nChildren := 0, len(p.Properties), 0
+	p.Walk(func(n *Node, _ int) {
+		nNodes++
+		nProps += len(n.Properties)
+		nChildren += len(n.Children)
+	})
 	out := &Plan{Source: p.Source}
-	out.Properties = append([]Property(nil), p.Properties...)
+	// Exact capacities: the appends below never reallocate, so interior
+	// pointers into nodes/children stay valid while the tree is filled.
+	nodes := make([]Node, 0, nNodes)
+	props := make([]Property, 0, nProps)
+	children := make([]*Node, 0, nChildren)
+	if len(p.Properties) > 0 {
+		start := len(props)
+		props = append(props, p.Properties...)
+		out.Properties = props[start:len(props):len(props)]
+	}
 	var cp func(n *Node) *Node
 	cp = func(n *Node) *Node {
 		if n == nil {
 			return nil
 		}
-		nn := &Node{Op: n.Op}
-		nn.Properties = append([]Property(nil), n.Properties...)
-		for _, c := range n.Children {
-			nn.Children = append(nn.Children, cp(c))
+		nodes = append(nodes, Node{Op: n.Op})
+		nn := &nodes[len(nodes)-1]
+		if len(n.Properties) > 0 {
+			start := len(props)
+			props = append(props, n.Properties...)
+			nn.Properties = props[start:len(props):len(props)]
+		}
+		if len(n.Children) > 0 {
+			start := len(children)
+			children = append(children, n.Children...)
+			cs := children[start:len(children):len(children)]
+			for i, c := range n.Children {
+				cs[i] = cp(c)
+			}
+			nn.Children = cs
 		}
 		return nn
 	}

@@ -94,6 +94,18 @@ type Options struct {
 	// reorder buffer holds results that complete ahead of their turn.
 	// When false, results are emitted as workers finish them.
 	Ordered bool
+	// ReuseArenas, when true, gives every worker one core.PlanArena for
+	// its whole lifetime: each record is decoded into the arena (owned-
+	// batch mode), the resulting plan is detached with Plan.Clone before
+	// it escapes into the Result, and the arena is Reset for the next
+	// record. A warmed-up worker therefore builds plans with zero slab
+	// allocations and pays one compact copy per result, keeping per-
+	// worker memory bounded by the largest plan seen instead of the sum
+	// of all plans. When false, conversions go through the converters'
+	// default Convert path, which borrows an arena from a process-wide
+	// pool and detaches the result the same way — the flag chooses
+	// worker-owned arenas over pool traffic, not arenas over none.
+	ReuseArenas bool
 	// Registry backs the workers' converters. Nil uses the process-wide
 	// shared default registry (convert.SharedRegistry).
 	Registry *core.Registry
@@ -144,26 +156,33 @@ type localDialect struct {
 	ops [7]float64
 }
 
-// worker is the per-goroutine conversion state: converter cache plus
-// thread-local statistics, merged into the shared aggregate once when the
-// worker drains.
+// worker is the per-goroutine conversion state: converter cache, an
+// optional long-lived arena, plus thread-local statistics, merged into the
+// shared aggregate once when the worker drains.
 type worker struct {
 	reg   *core.Registry
+	arena *core.PlanArena // non-nil iff Options.ReuseArenas
 	convs map[string]convEntry
 	local map[string]*localDialect
 }
 
-func newWorker(reg *core.Registry) *worker {
-	return &worker{
+func newWorker(reg *core.Registry, reuseArenas bool) *worker {
+	w := &worker{
 		reg:   reg,
 		convs: map[string]convEntry{},
 		local: map[string]*localDialect{},
 	}
+	if reuseArenas {
+		w.arena = core.NewPlanArena()
+	}
+	return w
 }
 
 // do converts one record into res — written in place, so batch workers
 // fill their output slots without an intermediate copy — and updates the
-// worker-local stats.
+// worker-local stats. In owned-batch mode (ReuseArenas) the plan is built
+// in the worker's arena and detached with Plan.Clone before it escapes:
+// the Result must stay valid after the arena is reset for the next record.
 func (w *worker) do(res *Result, seq int, rec Record) {
 	key := strings.ToLower(rec.Dialect)
 	e, ok := w.convs[key]
@@ -174,9 +193,24 @@ func (w *worker) do(res *Result, seq int, rec Record) {
 	}
 
 	res.Seq, res.Record = seq, rec
-	if e.err != nil {
+	switch {
+	case e.err != nil:
 		res.Err = e.err
-	} else {
+	case w.arena != nil:
+		if ac, ok := e.conv.(convert.ArenaConverter); ok {
+			w.arena.Reset()
+			res.Plan, res.Err = ac.ConvertIn(rec.Serialized, w.arena)
+			if res.Err == nil {
+				res.Plan = res.Plan.Clone() // detach from the reused arena
+			} else {
+				res.Plan = nil
+			}
+		} else {
+			// Registry-extended custom converters may predate the arena
+			// API; fall back to their one-shot path.
+			res.Plan, res.Err = e.conv.Convert(rec.Serialized)
+		}
+	default:
 		res.Plan, res.Err = e.conv.Convert(rec.Serialized)
 	}
 
@@ -343,7 +377,7 @@ func (p *Pipeline) Stats() Stats {
 // not one per record.
 func (p *Pipeline) runWorker(reg *core.Registry, sink chan<- []Result) {
 	defer p.workers.Done()
-	w := newWorker(reg)
+	w := newWorker(reg, p.opts.ReuseArenas)
 	for chunk := range p.in {
 		results := make([]Result, len(chunk))
 		for i, j := range chunk {
@@ -429,7 +463,7 @@ func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
 	switch {
 	case workers <= 0: // empty batch
 	case workers == 1:
-		w := newWorker(reg)
+		w := newWorker(reg, opts.ReuseArenas)
 		run(w, 0, len(records))
 		for key, ld := range w.local {
 			stats.merge(key, ld.drain())
@@ -442,7 +476,7 @@ func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
 		for i := 0; i < workers; i++ {
 			go func() {
 				defer wg.Done()
-				w := newWorker(reg)
+				w := newWorker(reg, opts.ReuseArenas)
 				for {
 					hi := int(cursor.Add(int64(chunk)))
 					lo := hi - chunk

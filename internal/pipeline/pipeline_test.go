@@ -77,6 +77,69 @@ func TestConvertBatchAllDialects(t *testing.T) {
 	}
 }
 
+// TestConvertBatchReuseArenas is the owned-batch arena mode's correctness
+// and race test: many records per worker force repeated Reset/Clone
+// cycles, results must match the default mode plan-for-plan, and every
+// returned plan must be fully detached (still valid after the workers —
+// and their arenas — are gone). Run under -race with multiple workers this
+// also proves per-worker arenas never leak across goroutines.
+func TestConvertBatchReuseArenas(t *testing.T) {
+	base := fixtures(t)
+	var recs []Record
+	for i := 0; i < 16; i++ { // enough repeats that every worker reuses its arena
+		recs = append(recs, base...)
+	}
+	want, _ := ConvertBatch(recs, Options{Workers: 4})
+	got, stats := ConvertBatch(recs, Options{Workers: 4, ReuseArenas: true, ChunkSize: 3})
+	if stats.Errors != 0 {
+		t.Fatalf("reuse-arena batch reported %d errors", stats.Errors)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("record %d (%s): %v", i, recs[i].Dialect, got[i].Err)
+		}
+		if !got[i].Plan.Equal(want[i].Plan) {
+			t.Errorf("record %d (%s): reuse-arena plan differs from default-mode plan",
+				i, recs[i].Dialect)
+		}
+		if err := got[i].Plan.Validate(); err != nil {
+			t.Errorf("record %d (%s): invalid detached plan: %v", i, recs[i].Dialect, err)
+		}
+	}
+}
+
+// TestPipelineStreamingReuseArenas covers the streaming pipeline's arena
+// path (workers outlive many records).
+func TestPipelineStreamingReuseArenas(t *testing.T) {
+	base := fixtures(t)
+	p := New(Options{Workers: 2, Ordered: true, ReuseArenas: true})
+	go func() {
+		for i := 0; i < 8; i++ {
+			for _, r := range base {
+				p.Submit(r)
+			}
+		}
+		p.Close()
+	}()
+	n := 0
+	for res := range p.Results() {
+		if res.Err != nil {
+			t.Errorf("seq %d (%s): %v", res.Seq, res.Record.Dialect, res.Err)
+			continue
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Errorf("seq %d: invalid plan: %v", res.Seq, err)
+		}
+		n++
+	}
+	if want := 8 * len(base); n != want {
+		t.Fatalf("drained %d results, want %d", n, want)
+	}
+}
+
 // TestConvertBatchErrorAggregation drives batches with failures mixed in
 // and checks per-record errors and the per-dialect aggregate counts.
 func TestConvertBatchErrorAggregation(t *testing.T) {

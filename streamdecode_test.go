@@ -85,3 +85,42 @@ func TestStreamingDecoderMatchesLegacyPath(t *testing.T) {
 			jsonRecords, len(corpus))
 	}
 }
+
+// TestArenaDecoderMatchesLegacyPath is the differential guard for the
+// arena memory model: across the full nine-dialect corpus, plans built
+// into one continuously reused arena (reset between records, detached with
+// Plan.Clone — exactly the pipeline's owned-batch mode) must serialize to
+// byte-identical canonical text and hash to equal fingerprints as the
+// retained legacy reference path. This is what proves slab recycling,
+// frontier growth, and compact cloning never corrupt or reorder plan
+// content.
+func TestArenaDecoderMatchesLegacyPath(t *testing.T) {
+	corpus, err := bench.Corpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	opts := core.FingerprintOptions{IncludeConfiguration: true, IncludeConfigurationValues: true}
+	for i, rec := range corpus {
+		arena.Reset()
+		built, err := ConvertInto(rec.Dialect, rec.Serialized, arena)
+		if err != nil {
+			t.Fatalf("record %d (%s): arena convert: %v", i, rec.Dialect, err)
+		}
+		got := built.Clone() // detach, like pipeline workers do
+		want, err := convert.LegacyConvert(rec.Dialect, rec.Serialized)
+		if err != nil {
+			t.Fatalf("record %d (%s): legacy convert: %v", i, rec.Dialect, err)
+		}
+		if g, w := canonicalPlanText(got), canonicalPlanText(want); g != w {
+			t.Errorf("record %d (%s): arena-built and legacy plans diverge\n--- arena ---\n%s\n--- legacy ---\n%s",
+				i, rec.Dialect, g, w)
+		}
+		if got.MarshalText() != built.MarshalText() {
+			t.Errorf("record %d (%s): detached clone differs from its arena original", i, rec.Dialect)
+		}
+		if got.FingerprintBytes(opts) != want.FingerprintBytes(opts) {
+			t.Errorf("record %d (%s): fingerprints diverge", i, rec.Dialect)
+		}
+	}
+}

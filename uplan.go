@@ -41,6 +41,9 @@ type (
 	PropertyCategory = core.PropertyCategory
 	// Registry maps DBMS-specific names to unified names.
 	Registry = core.Registry
+	// Arena is a slab allocator for plan construction; see ConvertInto
+	// and core.PlanArena for the ownership rules.
+	Arena = core.PlanArena
 	// FingerprintOptions controls structural plan fingerprints.
 	FingerprintOptions = core.FingerprintOptions
 	// FingerprintSet tracks observed plan fingerprints on binary keys —
@@ -101,6 +104,33 @@ func Convert(dialect, serialized string) (*Plan, error) {
 
 // Dialects lists the dialect keys Convert accepts, in sorted order.
 func Dialects() []string { return convert.Dialects() }
+
+// NewArena returns an empty plan-construction arena for use with
+// ConvertInto. An arena batches a plan's many small allocations (nodes,
+// property lists, child lists) into a few slabs and interns repeated
+// strings; Reset recycles the slabs for the next plan, so a warmed-up
+// arena converts with zero slab allocations. Arenas are not safe for
+// concurrent use — give each goroutine its own, or set
+// PipelineOptions.ReuseArenas to have the batch pipeline do that.
+func NewArena() *Arena { return core.NewPlanArena() }
+
+// ConvertInto is Convert with caller-managed memory: the plan is built
+// inside ar and aliases its slabs. The plan stays valid until ar.Reset is
+// called; to keep a plan beyond that, detach it first with Plan.Clone
+// (which copies it into independent, compactly laid-out heap storage).
+// Typical loop:
+//
+//	ar := uplan.NewArena()
+//	for _, raw := range raws {
+//		plan, err := uplan.ConvertInto("postgresql", raw, ar)
+//		... // inspect plan, fingerprint it, keep plan.Clone() if needed
+//		ar.Reset()
+//	}
+//
+// A nil arena behaves exactly like Convert.
+func ConvertInto(dialect, serialized string, ar *Arena) (*Plan, error) {
+	return convert.ConvertInto(dialect, serialized, ar)
+}
 
 // Batch conversion types, re-exported from the pipeline subsystem.
 type (

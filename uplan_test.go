@@ -193,3 +193,44 @@ func plan4Categories() string {
 	}
 	return b.String()
 }
+
+// TestFacadeArenaLifecycle exercises the exported arena surface end to
+// end: ConvertInto builds into a caller-owned arena, Clone detaches, Reset
+// recycles, and the batch pipeline's ReuseArenas option is reachable
+// through the facade options type.
+func TestFacadeArenaLifecycle(t *testing.T) {
+	const raw = "Seq Scan on t0  (cost=0.00..18.50 rows=850 width=4)\n" +
+		"  Filter: (c0 < 100)\nPlanning Time: 0.100 ms\n"
+	ar := NewArena()
+	first, err := ConvertInto("postgresql", raw, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := first.Clone()
+	ar.Reset()
+	second, err := ConvertInto("postgresql", raw, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep.Equal(second) {
+		t.Errorf("detached clone does not match a rebuild of the same input")
+	}
+	direct, err := Convert("postgresql", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep.Equal(direct) {
+		t.Errorf("arena-built plan differs from Convert's result")
+	}
+
+	records := []BatchRecord{{Dialect: "postgresql", Serialized: raw}, {Dialect: "postgresql", Serialized: raw}}
+	results, stats := ConvertBatch(records, PipelineOptions{Workers: 2, ReuseArenas: true})
+	if stats.Errors != 0 {
+		t.Fatalf("ReuseArenas batch errors: %d", stats.Errors)
+	}
+	for _, r := range results {
+		if !r.Plan.Equal(direct) {
+			t.Errorf("ReuseArenas batch plan differs from Convert's result")
+		}
+	}
+}
