@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text]
-//	            [-parallel N] [-reuse-arenas] [-iters N] [-out FILE]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign]
+//	            [-parallel N] [-reuse-arenas] [-iters N] [-queries N] [-out FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel N runs the batch experiment through the conversion pipeline
@@ -22,6 +22,12 @@
 // -experiment text measures each dialect's text-format converter
 // trajectory — the one-shot path against a reused arena — over -iters
 // conversions per dialect, reporting ns/plan and allocs/plan.
+//
+// -experiment campaign fans the QPG + CERT + TLP testing campaigns out
+// across all nine simulated engines on a -parallel-bounded worker pool
+// (0 means one worker per core) with a -queries budget per engine/oracle
+// task, printing per-engine stats and the deduplicated findings. The
+// finding set depends only on -seed, never on -parallel.
 //
 // -cpuprofile / -memprofile write pprof profiles covering whichever
 // experiments ran, so hot-path regressions can be diagnosed with
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"uplan/internal/bench"
+	"uplan/internal/campaign"
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/pipeline"
@@ -72,11 +79,12 @@ type pathRun struct {
 
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
-	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text")
-	parallel := flag.Int("parallel", 0, "batch experiment: pipeline worker count (0 = sequential only)")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text, campaign")
+	parallel := flag.Int("parallel", 0, "batch: pipeline worker count (0 = sequential only); campaign: task pool bound (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "batch experiment: records per pipeline dispatch chunk (0 = default)")
 	reuseArenas := flag.Bool("reuse-arenas", false, "batch experiment: per-worker reusable arenas (owned-batch mode)")
 	iters := flag.Int("iters", 2000, "text experiment: conversions per dialect per path")
+	queries := flag.Int("queries", 100, "campaign experiment: generated-query budget per engine/oracle task")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
@@ -130,6 +138,26 @@ func main() {
 			fail(err)
 		}
 		cpuFile = f
+	}
+	// The campaign experiment is explicit-only, like text: a nine-engine
+	// bug-hunting fan-out is a workload of its own, not one of the
+	// paper's tabulated artifacts, so "all" does not imply it.
+	if *experiment == "campaign" {
+		copts := campaign.DefaultOptions()
+		copts.Seed = *seed
+		copts.Workers = *parallel
+		copts.Queries = *queries
+		res, err := campaign.Run(copts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== Campaign: %d engines x %d oracles, %d queries per task, seed %d ==\n",
+			len(res.Stats.Engines), len(campaign.AllOracles()), *queries, *seed)
+		fmt.Print(res.Stats)
+		fmt.Printf("findings (%d, deduplicated, canonical order):\n", len(res.Findings))
+		for _, f := range res.Findings {
+			fmt.Println("  " + f.String())
+		}
 	}
 	// The text experiment is explicit-only: it is a microbenchmark loop,
 	// not one of the paper's artifacts, so "all" does not imply it.

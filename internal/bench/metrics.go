@@ -31,7 +31,9 @@ func (r *EngineReport) Average() core.CategoryHistogram {
 // CollectPlans explains every query on the engine and converts the
 // serialized plans to the unified representation.
 func CollectPlans(e *dbms.Engine, queries []string) (*EngineReport, error) {
-	conv, err := convert.For(e.Info.Name, nil)
+	// The shared cached converter: collecting plans for n engines must not
+	// rebuild the full naming registry n times.
+	conv, err := convert.Cached(e.Info.Name)
 	if err != nil {
 		return nil, err
 	}

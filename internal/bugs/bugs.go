@@ -182,7 +182,7 @@ func runQPG(bug Bug, e *dbms.Engine, seed int64, budget int) (CampaignResult, er
 		return CampaignResult{}, err
 	}
 	findings := c.Run(opts)
-	res := CampaignResult{Bug: bug, QueriesRun: budget}
+	res := CampaignResult{Bug: bug, QueriesRun: c.QueriesRun}
 	if len(findings) > 0 {
 		res.Found = true
 		res.Evidence = findings[0].String()

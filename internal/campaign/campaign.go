@@ -1,0 +1,415 @@
+// Package campaign is the concurrent multi-engine testing orchestrator —
+// the paper's headline application (A.1) run at fleet scale. QPG (Ba &
+// Rigger, ICSE 2023), CERT (ICSE 2024), and the TLP oracle are each
+// implemented once over the unified plan representation; this package
+// fans all three out across every simulated engine on one bounded worker
+// pool (the chunked-dispatch core shared with internal/pipeline), merges
+// their findings into a race-safe deduplicating store, and aggregates
+// per-engine statistics in the style of pipeline.Stats.
+//
+// Determinism contract: each (engine, oracle) task derives its generator
+// seed from the top-level seed and its own identity, runs strictly
+// sequentially inside one worker, and dedups findings on a key that
+// embeds that identity — so the same top-level seed produces a
+// byte-identical finding set at any worker count and under any
+// scheduling.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"uplan/internal/cert"
+	"uplan/internal/core"
+	"uplan/internal/dbms"
+	"uplan/internal/exec"
+	"uplan/internal/pipeline"
+	"uplan/internal/qpg"
+	"uplan/internal/sqlancer"
+	"uplan/internal/tlp"
+)
+
+// Oracle names one of the DBMS-agnostic testing techniques the
+// orchestrator can run.
+type Oracle string
+
+// The three oracles, in canonical order.
+const (
+	OracleQPG  Oracle = "qpg"  // plan-guided generation + differential oracle
+	OracleCERT Oracle = "cert" // cardinality-estimate monotonicity
+	OracleTLP  Oracle = "tlp"  // ternary logic partitioning
+)
+
+// AllOracles lists the oracles in canonical order.
+func AllOracles() []Oracle { return []Oracle{OracleQPG, OracleCERT, OracleTLP} }
+
+// Kind classifies campaign findings.
+type Kind string
+
+// Finding kinds. The first three mirror qpg.BugKind; estimate findings
+// come from the CERT oracle.
+const (
+	KindLogic    Kind = "logic"      // wrong results (TLP or differential)
+	KindCrash    Kind = "crash"      // execution error on generated input
+	KindPlan     Kind = "plan-parse" // converter failed on the engine's plan
+	KindEstimate Kind = "estimate"   // estimate monotonicity broken or unreadable
+)
+
+// Finding is one deduplicated campaign discovery.
+type Finding struct {
+	Engine string
+	Oracle Oracle
+	Kind   Kind
+	Query  string
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s/%s/%s] %s — %s", f.Engine, f.Oracle, f.Kind, f.Query, f.Detail)
+}
+
+// Options tune a campaign run.
+type Options struct {
+	// Engines lists the engine keys to test. Empty means all nine studied
+	// engines, in Table I order.
+	Engines []string
+	// Oracles lists the techniques to run per engine. Empty means all
+	// three.
+	Oracles []Oracle
+	// Queries is the generated-query budget per (engine, oracle) task.
+	Queries int
+	// StallThreshold is QPG's mutation trigger: queries without a new plan
+	// fingerprint before the database is mutated.
+	StallThreshold int
+	// Tables and Rows size each task's generated schema.
+	Tables int
+	Rows   int
+	// Seed is the top-level seed. Every task derives its own generator
+	// seed from it deterministically, so the finding set depends only on
+	// Seed (and the other option values), never on scheduling.
+	Seed int64
+	// Workers bounds the task pool. Non-positive means GOMAXPROCS; the
+	// pool additionally clamps to the task count.
+	Workers int
+	// MaxFindings stops an individual task after it has contributed that
+	// many findings; 0 means no cap.
+	MaxFindings int
+	// Inject, when set, is applied to every target engine right after
+	// construction — the hook the Table V reproduction uses to plant
+	// defects. QPG's pristine reference engines are never injected.
+	Inject func(e *dbms.Engine)
+}
+
+// DefaultOptions returns the budget the campaign smoke runs use.
+func DefaultOptions() Options {
+	return Options{
+		Queries:        100,
+		StallThreshold: 8,
+		Tables:         2,
+		Rows:           12,
+		Seed:           1,
+		MaxFindings:    10,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Engines) == 0 {
+		o.Engines = dbms.Names()
+	}
+	if len(o.Oracles) == 0 {
+		o.Oracles = AllOracles()
+	}
+	if o.Queries <= 0 {
+		o.Queries = 100
+	}
+	if o.StallThreshold <= 0 {
+		o.StallThreshold = 8
+	}
+	if o.Tables <= 0 {
+		o.Tables = 2
+	}
+	if o.Rows <= 0 {
+		o.Rows = 12
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is a campaign run's outcome: the deduplicated findings in
+// canonical order plus the merged statistics.
+type Result struct {
+	Findings []Finding
+	Stats    Stats
+}
+
+// task is one (engine, oracle) unit of fan-out work.
+type task struct {
+	engine string
+	oracle Oracle
+}
+
+// taskDelta is one task's contribution to the merged stats, plus its
+// hard failure (engine construction or schema setup), if any.
+type taskDelta struct {
+	queries, statements      int
+	planQueries, newPlans    int
+	distinctPlans, mutations int
+	checks, skipped          int
+	err                      error
+}
+
+// Run fans the configured oracles out across the configured engines on a
+// bounded worker pool and returns the merged result. Each task builds its
+// own engine instance(s), so tasks share no mutable state except the
+// race-safe finding store. Hard task failures (an unknown engine key, a
+// schema that would not apply) are joined into the returned error; the
+// Result still covers every task that ran.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	tasks := make([]task, 0, len(opts.Engines)*len(opts.Oracles))
+	for _, e := range opts.Engines {
+		for _, o := range opts.Oracles {
+			tasks = append(tasks, task{engine: e, oracle: o})
+		}
+	}
+
+	st := newStore()
+	start := time.Now()
+	deltas := make([]taskDelta, len(tasks))
+	// Chunk size 1: campaign tasks are seconds-long, so per-task claiming
+	// keeps the pool balanced; the worker state the conversion pipeline
+	// threads through the pool is unused here because every task owns its
+	// engines outright.
+	pipeline.ForEachChunked(len(tasks), opts.Workers, 1,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				deltas[i] = runTask(tasks[i], opts, st)
+			}
+		},
+		func(struct{}) {})
+
+	res := &Result{Stats: Stats{Engines: map[string]*EngineStats{}}}
+	var errs []error
+	for i, d := range deltas {
+		es := res.Stats.engineStats(tasks[i].engine)
+		es.Queries += d.queries
+		es.Statements += d.statements
+		es.PlanQueries += d.planQueries
+		es.NewPlans += d.newPlans
+		es.DistinctPlans += d.distinctPlans
+		es.Mutations += d.mutations
+		es.Checks += d.checks
+		es.Skipped += d.skipped
+		res.Stats.Queries += d.queries
+		res.Stats.Statements += d.statements
+		if d.err != nil {
+			errs = append(errs, fmt.Errorf("campaign: %s/%s: %w", tasks[i].engine, tasks[i].oracle, d.err))
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	res.Stats.DistinctPlans = st.distinctPlans()
+	res.Findings = st.sorted()
+	res.Stats.Findings = len(res.Findings)
+	for _, f := range res.Findings {
+		es := res.Stats.engineStats(f.Engine)
+		es.Findings++
+		es.ByKind[f.Kind]++
+	}
+	return res, errors.Join(errs...)
+}
+
+// deriveSeed mixes the top-level seed with the task identity so every
+// task gets an independent, reproducible generator stream regardless of
+// which worker runs it or when.
+func deriveSeed(seed int64, engine string, oracle Oracle) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(engine))
+	h.Write([]byte{0})
+	h.Write([]byte(oracle))
+	return seed ^ int64(h.Sum64())
+}
+
+// runTask builds the task's target engine and dispatches to its oracle.
+func runTask(t task, opts Options, st *store) taskDelta {
+	var d taskDelta
+	e, err := dbms.New(t.engine)
+	if err != nil {
+		d.err = err
+		return d
+	}
+	if opts.Inject != nil {
+		opts.Inject(e)
+	}
+	seed := deriveSeed(opts.Seed, t.engine, t.oracle)
+	switch t.oracle {
+	case OracleQPG:
+		runQPGTask(e, seed, opts, st, &d)
+	case OracleCERT:
+		runCERTTask(e, seed, opts, st, &d)
+	case OracleTLP:
+		runTLPTask(e, seed, opts, st, &d)
+	default:
+		d.err = fmt.Errorf("unknown oracle %q", t.oracle)
+	}
+	d.statements = e.Queries()
+	return d
+}
+
+// runQPGTask runs a full QPG campaign (plan guidance, differential and TLP
+// oracles, mutation feedback) against the engine, streaming every observed
+// unified plan into the cross-engine store.
+func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+	qopts := qpg.Options{
+		Queries:        opts.Queries,
+		StallThreshold: opts.StallThreshold,
+		Seed:           seed,
+		MaxFindings:    opts.MaxFindings,
+	}
+	c, err := qpg.New(e, qopts)
+	if err != nil {
+		d.err = err
+		return
+	}
+	// The campaign's hot loop decodes plans into a reused arena; the
+	// observer must only fingerprint, never retain.
+	c.Observer = func(p *core.Plan) { st.observePlan(p) }
+	if err := c.Setup(opts.Tables, opts.Rows); err != nil {
+		d.err = err
+		return
+	}
+	for _, f := range c.Run(qopts) {
+		st.add(Finding{
+			Engine: e.Info.Name,
+			Oracle: OracleQPG,
+			Kind:   Kind(f.Kind),
+			Query:  f.Query,
+			Detail: f.Detail,
+		})
+	}
+	d.queries = c.QueriesRun
+	d.planQueries = c.PlansObserved
+	d.newPlans = c.NewPlans
+	d.distinctPlans = c.Plans.Size()
+	d.mutations = c.Mutations
+}
+
+// runCERTTask runs the CERT oracle: random base/restricted pairs whose
+// estimates must shrink. Unplannable pairs are skipped; a readable-estimate
+// failure is itself a finding (the engine planned the query but its plan
+// exposes no estimate, or the plan did not convert).
+func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+	gen := sqlancer.New(seed)
+	if err := applySchema(e, gen, opts); err != nil {
+		d.err = err
+		return
+	}
+	checker, err := cert.New(e)
+	if err != nil {
+		d.err = err
+		return
+	}
+	found := 0
+	for i := 0; i < opts.Queries; i++ {
+		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
+			break
+		}
+		d.queries++
+		base, restricted := gen.RestrictableQuery()
+		v, err := checker.CheckPair(base, restricted)
+		var f Finding
+		switch {
+		case errors.Is(err, cert.ErrUnplannable):
+			d.skipped++
+			continue
+		case errors.Is(err, cert.ErrNoEstimate):
+			f = Finding{
+				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindEstimate,
+				Query: base, Detail: "no cardinality estimate in plan",
+			}
+		case err != nil:
+			f = Finding{
+				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindPlan,
+				Query: base, Detail: err.Error(),
+			}
+		case v != nil:
+			f = Finding{
+				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindEstimate,
+				Query: v.Restricted, Detail: v.String(),
+			}
+		default:
+			continue
+		}
+		added := st.add(f)
+		if added {
+			found++
+		}
+		if !added && errors.Is(err, cert.ErrNoEstimate) {
+			// A plan format that exposes no estimate for one query exposes
+			// none for any (the finding is already recorded); spending the
+			// rest of the budget would only re-derive it at two
+			// EXPLAIN-plus-convert round trips per pair.
+			break
+		}
+	}
+	d.checks = checker.Checked
+}
+
+// runTLPTask runs the standalone TLP oracle loop: partition every random
+// predicate into φ / NOT φ / φ IS NULL and compare the union with the
+// unpartitioned result.
+func runTLPTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+	gen := sqlancer.New(seed)
+	if err := applySchema(e, gen, opts); err != nil {
+		d.err = err
+		return
+	}
+	found := 0
+	for i := 0; i < opts.Queries; i++ {
+		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
+			break
+		}
+		d.queries++
+		table, pred := gen.PartitionableQuery()
+		v, err := tlp.Check(e, table, pred)
+		var f Finding
+		switch {
+		case errors.Is(err, exec.ErrUnresolvedColumn):
+			// Generator noise: the predicate names a column this table
+			// lacks.
+			d.skipped++
+			continue
+		case err != nil:
+			f = Finding{
+				Engine: e.Info.Name, Oracle: OracleTLP, Kind: KindCrash,
+				Query: "TLP " + table + " / " + pred, Detail: err.Error(),
+			}
+		case v != nil:
+			f = Finding{
+				Engine: e.Info.Name, Oracle: OracleTLP, Kind: KindLogic,
+				Query: v.Base + " WHERE " + pred, Detail: v.Detail,
+			}
+		default:
+			continue
+		}
+		if st.add(f) {
+			found++
+		}
+	}
+}
+
+// applySchema loads the generator's random schema into the engine and
+// refreshes its statistics.
+func applySchema(e *dbms.Engine, gen *sqlancer.Generator, opts Options) error {
+	for _, stmt := range gen.SchemaSQL(opts.Tables, opts.Rows) {
+		if _, err := e.Execute(stmt); err != nil {
+			return fmt.Errorf("schema %q: %w", stmt, err)
+		}
+	}
+	return e.Analyze()
+}

@@ -1,0 +1,223 @@
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/dbms"
+)
+
+// testOptions is a small-budget nine-engine configuration with injected
+// defects so campaigns actually find something.
+func testOptions(workers int) Options {
+	opts := DefaultOptions()
+	opts.Queries = 30
+	opts.Workers = workers
+	opts.Seed = 3
+	opts.Inject = func(e *dbms.Engine) {
+		e.Quirks.LeftJoinAsInner = true
+		e.Quirks.DistinctDropsNulls = true
+		e.Opts.Quirks.PredicateInflatesEstimate = 900
+	}
+	return opts
+}
+
+// TestCampaignDeterminism pins the orchestrator's core contract: the same
+// top-level seed produces a byte-identical finding set at any worker
+// count, because every (engine, oracle) task derives its own seed and
+// dedup never crosses task identities.
+func TestCampaignDeterminism(t *testing.T) {
+	sequential, err := Run(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(testOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sequential.Findings) == 0 {
+		t.Fatal("injected defects produced no findings — the determinism check is vacuous")
+	}
+	if !reflect.DeepEqual(sequential.Findings, parallel.Findings) {
+		t.Errorf("findings differ across worker counts:\n-parallel 1: %v\n-parallel 8: %v",
+			sequential.Findings, parallel.Findings)
+	}
+	// The byte-identical form of the contract.
+	if fmt.Sprintf("%v", sequential.Findings) != fmt.Sprintf("%v", parallel.Findings) {
+		t.Error("rendered finding sets differ across worker counts")
+	}
+	// Stats that derive from task-local determinism must agree too.
+	for name, seq := range sequential.Stats.Engines {
+		par := parallel.Stats.Engines[name]
+		if par == nil {
+			t.Fatalf("engine %s missing from parallel run", name)
+		}
+		if seq.NewPlans != par.NewPlans || seq.Mutations != par.Mutations ||
+			seq.Checks != par.Checks || seq.Skipped != par.Skipped ||
+			seq.Findings != par.Findings {
+			t.Errorf("%s stats differ: sequential %+v parallel %+v", name, seq, par)
+		}
+	}
+	if sequential.Stats.DistinctPlans != parallel.Stats.DistinctPlans {
+		t.Errorf("cross-engine distinct plans differ: %d vs %d",
+			sequential.Stats.DistinctPlans, parallel.Stats.DistinctPlans)
+	}
+}
+
+// TestCampaignFindsInjectedDefects: the fleet rediscovers planted logic
+// bugs, and every finding names an engine that was actually tested.
+func TestCampaignFindsInjectedDefects(t *testing.T) {
+	res, err := Run(testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for _, f := range res.Findings {
+		kinds[f.Kind]++
+		if _, ok := res.Stats.Engines[f.Engine]; !ok {
+			t.Errorf("finding names untested engine: %v", f)
+		}
+		if f.String() == "" {
+			t.Error("finding must render")
+		}
+	}
+	if kinds[KindLogic] == 0 {
+		t.Errorf("LEFT JOIN / DISTINCT defects not rediscovered: %v", kinds)
+	}
+	if kinds[KindEstimate] == 0 {
+		t.Errorf("estimate inflation not rediscovered: %v", kinds)
+	}
+}
+
+// TestCampaignPristine: a defect-free fleet yields no logic or crash
+// findings. The four engines whose plans expose no cardinality estimate
+// still produce their (real) estimate-signal findings.
+func TestCampaignPristine(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Queries = 25
+	opts.Workers = 4
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Engines) != len(dbms.Names()) {
+		t.Fatalf("stats cover %d engines, want %d", len(res.Stats.Engines), len(dbms.Names()))
+	}
+	for _, f := range res.Findings {
+		if f.Kind == KindLogic || f.Kind == KindCrash || f.Kind == KindPlan {
+			t.Errorf("pristine fleet produced %v", f)
+		}
+	}
+	if res.Stats.DistinctPlans == 0 {
+		t.Error("cross-engine plan store observed nothing")
+	}
+	// Engines with estimates run their full three-oracle budget; the four
+	// estimate-free engines stop their CERT task after the deduplicated
+	// no-estimate finding instead of burning the remaining budget.
+	fullBudget := len(AllOracles()) * opts.Queries
+	if got := res.Stats.Engines["postgresql"].Queries; got != fullBudget {
+		t.Errorf("postgresql Queries = %d, want full budget %d", got, fullBudget)
+	}
+	if got := res.Stats.Engines["sqlite"].Queries; got >= fullBudget {
+		t.Errorf("sqlite Queries = %d, want < %d (CERT must stop early without estimates)", got, fullBudget)
+	}
+	if res.Stats.Queries == 0 || res.Stats.Queries > len(dbms.Names())*fullBudget {
+		t.Errorf("Queries = %d out of range", res.Stats.Queries)
+	}
+	if res.Stats.Statements == 0 {
+		t.Error("no executed statements counted")
+	}
+	for _, es := range res.Stats.ByEngine() {
+		if es.PlanQueries == 0 || es.DistinctPlans == 0 {
+			t.Errorf("%s: QPG observed no plans: %+v", es.Engine, es)
+		}
+	}
+}
+
+// TestStoreConcurrent hammers the shared finding store from many
+// goroutines — the -race test over the cross-engine store. Every plan and
+// finding is pushed from several goroutines at once; the store must end
+// up with exactly the deduplicated set.
+func TestStoreConcurrent(t *testing.T) {
+	st := newStore()
+	plan := func(op string) *core.Plan {
+		return &core.Plan{Root: &core.Node{Op: core.Operation{Name: op, Category: core.Producer}}}
+	}
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				st.add(Finding{
+					Engine: "postgresql",
+					Oracle: OracleTLP,
+					Kind:   KindLogic,
+					Query:  fmt.Sprintf("q%d", i%50),
+					Detail: fmt.Sprintf("detail %d", i%50),
+				})
+				st.observePlan(plan(fmt.Sprintf("Op %d", i%25)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(st.sorted()); got != 50 {
+		t.Errorf("store kept %d findings, want 50 deduplicated", got)
+	}
+	if got := st.distinctPlans(); got != 25 {
+		t.Errorf("store kept %d distinct plans, want 25", got)
+	}
+}
+
+// TestDeriveSeedIdentity: every (engine, oracle) task must get its own
+// stream, stable across runs.
+func TestDeriveSeedIdentity(t *testing.T) {
+	seen := map[int64]string{}
+	for _, e := range dbms.Names() {
+		for _, o := range AllOracles() {
+			s := deriveSeed(42, e, o)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: %s/%s and %s", e, o, prev)
+			}
+			seen[s] = e + "/" + string(o)
+			if s != deriveSeed(42, e, o) {
+				t.Errorf("%s/%s: derivation not stable", e, o)
+			}
+			if s == deriveSeed(43, e, o) {
+				t.Errorf("%s/%s: top-level seed ignored", e, o)
+			}
+		}
+	}
+}
+
+// TestUnknownEngineSurfaces: a bad engine key is a hard task failure that
+// joins into Run's error while the rest of the fleet still runs.
+func TestUnknownEngineSurfaces(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Queries = 5
+	opts.Engines = []string{"postgresql", "oracle23c"}
+	res, err := Run(opts)
+	if err == nil {
+		t.Fatal("unknown engine must surface in Run's error")
+	}
+	if res == nil || res.Stats.Engines["postgresql"] == nil {
+		t.Fatal("healthy engines must still have run")
+	}
+	if res.Stats.Engines["postgresql"].Queries == 0 {
+		t.Error("postgresql task did not run")
+	}
+}
+
+// TestFindingStringFormat pins the rendered form campaign reports use.
+func TestFindingStringFormat(t *testing.T) {
+	f := Finding{Engine: "mysql", Oracle: OracleQPG, Kind: KindLogic, Query: "SELECT 1", Detail: "boom"}
+	want := "[mysql/qpg/logic] SELECT 1 — boom"
+	if f.String() != want {
+		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}

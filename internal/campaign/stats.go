@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EngineStats aggregates one engine's campaign outcomes across every
+// oracle that ran against it, in the style of pipeline.DialectStats.
+type EngineStats struct {
+	// Engine is the engine key ("postgresql", …).
+	Engine string
+	// Queries counts generated queries actually processed across the
+	// engine's oracle tasks — less than the configured budget when a task
+	// stopped early (MaxFindings reached, or a CERT task whose plan
+	// format exposes no estimates).
+	Queries int
+	// Statements counts the statements the engine instances actually
+	// executed (schema setup, oracle probes, EXPLAINs, mutations).
+	Statements int
+	// PlanQueries is the QPG share of the budget — queries whose unified
+	// plan was observed through the arena-backed conversion path.
+	PlanQueries int
+	// NewPlans counts plan structures the engine's QPG campaign had not
+	// seen before (its coverage signal).
+	NewPlans int
+	// DistinctPlans is the engine-local distinct plan structure count.
+	DistinctPlans int
+	// Mutations counts database mutations QPG applied when coverage
+	// stalled.
+	Mutations int
+	// Checks counts CERT estimate comparisons performed.
+	Checks int
+	// Skipped counts skip-worthy probes: CERT pairs the engine could not
+	// plan and TLP predicates naming columns the table lacks.
+	Skipped int
+	// Findings is how many deduplicated findings name this engine.
+	Findings int
+	// ByKind breaks Findings down by kind.
+	ByKind map[Kind]int
+}
+
+// NewPlanRate is the engine's plan-coverage yield: newly seen plan
+// structures per plan-observed query. High early, decaying as coverage
+// plateaus — the signal QPG's mutation feedback loop keys on.
+func (es *EngineStats) NewPlanRate() float64 {
+	if es.PlanQueries == 0 {
+		return 0
+	}
+	return float64(es.NewPlans) / float64(es.PlanQueries)
+}
+
+// Stats aggregates a whole campaign run.
+type Stats struct {
+	// Queries, Statements, and Findings total the per-engine counts.
+	Queries    int
+	Statements int
+	Findings   int
+	// DistinctPlans is the cross-engine distinct plan structure count from
+	// the shared store (not the sum of the per-engine counts: the same
+	// shape on two engines counts once).
+	DistinctPlans int
+	// Elapsed is the wall time of the whole fan-out.
+	Elapsed time.Duration
+	// Engines holds the per-engine aggregates, keyed by engine.
+	Engines map[string]*EngineStats
+}
+
+// QueriesPerSec is the fleet's generated-query throughput over the run's
+// wall time. Zero before the run finishes.
+func (s Stats) QueriesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Elapsed.Seconds()
+}
+
+// StatementsPerSec is the fleet's executed-statement throughput.
+func (s Stats) StatementsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Statements) / s.Elapsed.Seconds()
+}
+
+// ByEngine returns the per-engine aggregates sorted by engine name.
+func (s Stats) ByEngine() []*EngineStats {
+	out := make([]*EngineStats, 0, len(s.Engines))
+	for _, es := range s.Engines {
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Engine < out[j].Engine })
+	return out
+}
+
+// engineStats returns (creating if needed) the aggregate for an engine.
+func (s *Stats) engineStats(engine string) *EngineStats {
+	es := s.Engines[engine]
+	if es == nil {
+		es = &EngineStats{Engine: engine, ByKind: map[Kind]int{}}
+		s.Engines[engine] = es
+	}
+	return es
+}
+
+// String renders the stats as a fixed-width per-engine table with a totals
+// row, in the style of pipeline.Stats.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %7s %5s %7s %6s %6s %9s\n",
+		"engine", "queries", "stmts", "newplans", "plans", "mut", "checks", "skip", "finds", "plan-rate")
+	for _, es := range s.ByEngine() {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %7d %5d %7d %6d %6d %9.3f\n",
+			es.Engine, es.Queries, es.Statements, es.NewPlans, es.DistinctPlans,
+			es.Mutations, es.Checks, es.Skipped, es.Findings, es.NewPlanRate())
+	}
+	fmt.Fprintf(&b, "%-12s %8d %8d %8s %7d %5s %7s %6s %6d   (%.3fs, %.0f q/s)\n",
+		"total", s.Queries, s.Statements, "", s.DistinctPlans, "", "", "", s.Findings,
+		s.Elapsed.Seconds(), s.QueriesPerSec())
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"uplan/internal/core"
+)
+
+// store is the race-safe cross-engine finding store: every campaign task
+// pushes its findings and observed plans here, from whichever worker
+// goroutine happens to run it. Findings dedup on a fingerprint of
+// (engine, oracle, kind, detail) — the key QPG's per-campaign store
+// established, widened with the task identity — and plans dedup on their
+// structural fingerprints in one shared core.FingerprintSet, giving the
+// fleet-wide "how many distinct plan shapes did the whole campaign see"
+// number no single-engine run can produce.
+type store struct {
+	mu       sync.Mutex
+	plans    *core.FingerprintSet
+	seen     map[uint64]struct{}
+	findings []Finding
+}
+
+func newStore() *store {
+	return &store{
+		// The same structural options QPG uses for coverage: operations
+		// plus configuration property names, never values, so the same
+		// plan shape on two engines with different constants collapses.
+		plans: core.NewFingerprintSet(core.FingerprintOptions{
+			IncludeConfiguration: true,
+		}),
+		seen: map[uint64]struct{}{},
+	}
+}
+
+// observePlan records the plan's structural fingerprint in the
+// cross-engine set and reports whether it was globally new. Safe for
+// concurrent use. The plan may be arena-backed and about to be reset —
+// only its fingerprint (a fixed-size key) is retained.
+func (s *store) observePlan(p *core.Plan) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plans.Observe(p)
+}
+
+// distinctPlans is the size of the cross-engine plan set.
+func (s *store) distinctPlans() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plans.Size()
+}
+
+// add appends the finding unless an equivalent one was already recorded,
+// reporting whether it was added. Because the dedup key embeds the
+// (engine, oracle) pair — exactly one task per pair — dedup decisions
+// never depend on cross-task scheduling: the store's final contents are a
+// pure function of each task's sequential, seed-determined output, which
+// is what makes the campaign's finding set identical at any worker count.
+func (s *store) add(f Finding) bool {
+	key := f.fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seen[key]; dup {
+		return false
+	}
+	s.seen[key] = struct{}{}
+	s.findings = append(s.findings, f)
+	return true
+}
+
+// sorted snapshots the findings in canonical order (engine, oracle, kind,
+// query, detail) — the byte-stable order Run returns.
+func (s *store) sorted() []Finding {
+	s.mu.Lock()
+	out := append([]Finding(nil), s.findings...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Engine != b.Engine:
+			return a.Engine < b.Engine
+		case a.Oracle != b.Oracle:
+			return a.Oracle < b.Oracle
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Query != b.Query:
+			return a.Query < b.Query
+		default:
+			return a.Detail < b.Detail
+		}
+	})
+	return out
+}
+
+// fingerprint hashes the finding's dedup identity.
+func (f Finding) fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, part := range [...]string{f.Engine, string(f.Oracle), string(f.Kind), f.Detail} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

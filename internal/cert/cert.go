@@ -8,12 +8,26 @@
 package cert
 
 import (
+	"errors"
 	"fmt"
 
 	"uplan/internal/convert"
+	"uplan/internal/core"
 	"uplan/internal/dbms"
 	"uplan/internal/sqlancer"
 )
+
+// ErrUnplannable marks pairs the engine could not plan at all (parse or
+// planning failure on the generated query). These are skip-worthy: CERT
+// only reasons about successfully planned queries, and a generator
+// routinely produces statements a dialect rejects.
+var ErrUnplannable = errors.New("cert: query not plannable")
+
+// ErrNoEstimate flags a plan that converted cleanly but carries no root
+// cardinality estimate. Unlike an unplannable query this IS a signal — the
+// engine planned the query yet its serialized plan exposes no estimate the
+// oracle (or a user) can read — so Run reports it instead of skipping it.
+var ErrNoEstimate = errors.New("cert: no cardinality estimate in plan")
 
 // Violation is one CERT finding: the restricted query got a larger
 // estimate than its base query.
@@ -38,33 +52,56 @@ const Tolerance = 1.01
 type Checker struct {
 	Engine    *dbms.Engine
 	converter convert.Converter
+	// aconv and arena give Estimate the allocation-lean arena-backed
+	// decode path: the plan is read for one property and discarded, so it
+	// lives in a checker-owned arena that is reset before the next decode.
+	aconv convert.ArenaConverter
+	arena *core.PlanArena
 	// Checked counts performed estimate comparisons.
 	Checked int
+	// Skipped counts pairs the engine could not plan (ErrUnplannable).
+	Skipped int
 }
 
-// New creates a CERT checker for the engine.
+// New creates a CERT checker for the engine. The converter comes from the
+// shared per-dialect cache (one registry per process), not a per-checker
+// registry build.
 func New(e *dbms.Engine) (*Checker, error) {
-	conv, err := convert.For(e.Info.Name, nil)
+	conv, err := convert.Cached(e.Info.Name)
 	if err != nil {
 		return nil, err
 	}
-	return &Checker{Engine: e, converter: conv}, nil
+	c := &Checker{Engine: e, converter: conv}
+	if ac, ok := conv.(convert.ArenaConverter); ok {
+		c.aconv = ac
+		c.arena = core.NewPlanArena()
+	}
+	return c, nil
 }
 
 // Estimate returns the optimizer's root cardinality estimate for the
-// query, read from the unified plan.
+// query, read from the unified plan. A query the engine cannot plan
+// returns an error matching ErrUnplannable; a plan without a readable
+// estimate returns one matching ErrNoEstimate.
 func (c *Checker) Estimate(query string) (float64, error) {
 	serialized, err := c.Engine.Explain(query, c.Engine.DefaultFormat())
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %q: %v", ErrUnplannable, query, err)
 	}
-	plan, err := c.converter.Convert(serialized)
+	var plan *core.Plan
+	if c.aconv != nil {
+		c.arena.Reset()
+		plan, err = c.aconv.ConvertIn(serialized, c.arena)
+	} else {
+		plan, err = c.converter.Convert(serialized)
+	}
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("cert: %s plan for %q did not convert: %w",
+			c.Engine.Info.Name, query, err)
 	}
 	est, ok := plan.RootCardinality()
 	if !ok {
-		return 0, fmt.Errorf("cert: no cardinality estimate in %s plan", c.Engine.Info.Name)
+		return 0, fmt.Errorf("%w (%s, %q)", ErrNoEstimate, c.Engine.Info.Name, query)
 	}
 	return est, nil
 }
@@ -94,19 +131,25 @@ func (c *Checker) CheckPair(base, restricted string) (*Violation, error) {
 }
 
 // Run generates n random base/restricted pairs and returns all violations.
+// Pairs the engine cannot plan are skipped (and counted in Skipped) —
+// CERT only reasons about successfully planned queries. Every other
+// CheckPair failure (a plan that would not convert, a plan with no
+// readable estimate) is reportable: Run finishes the budget, then returns
+// the collected violations together with the joined errors.
 func (c *Checker) Run(gen *sqlancer.Generator, n int) ([]Violation, error) {
 	var out []Violation
+	var errs []error
 	for i := 0; i < n; i++ {
 		base, restricted := gen.RestrictableQuery()
 		v, err := c.CheckPair(base, restricted)
-		if err != nil {
-			// Skip pairs the engine cannot plan; CERT only reasons about
-			// successfully planned queries.
-			continue
-		}
-		if v != nil {
+		switch {
+		case errors.Is(err, ErrUnplannable):
+			c.Skipped++
+		case err != nil:
+			errs = append(errs, err)
+		case v != nil:
 			out = append(out, *v)
 		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package cert
 
 import (
+	"errors"
 	"testing"
 
 	"uplan/internal/dbms"
@@ -90,5 +91,106 @@ func TestRunSkipsUnplannable(t *testing.T) {
 	gen.SchemaSQL(1, 0) // generator schema ≠ engine schema: pairs skipped
 	if _, err := c.Run(gen, 10); err != nil {
 		t.Fatalf("Run must tolerate unplannable pairs: %v", err)
+	}
+}
+
+// TestRunReportsMissingEstimates is the regression test for Run's
+// swallowed errors: SQLite's plans carry no cardinality estimate, which
+// is a reportable signal — Run used to `continue` past it and could never
+// return a non-nil error despite its signature.
+func TestRunReportsMissingEstimates(t *testing.T) {
+	e := dbms.MustNew("sqlite")
+	gen := sqlancer.New(11)
+	for _, s := range gen.SchemaSQL(2, 8) {
+		if _, err := e.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(gen, 5)
+	if err == nil {
+		t.Fatal("missing estimates must surface as a Run error")
+	}
+	if !errors.Is(err, ErrNoEstimate) {
+		t.Errorf("error %q must match ErrNoEstimate", err)
+	}
+}
+
+// TestEstimateClassifiesFailures pins the two error classes Estimate
+// distinguishes: unplannable queries (skip-worthy) versus plans without a
+// readable estimate (reportable).
+func TestEstimateClassifiesFailures(t *testing.T) {
+	c, err := New(seeded(t, "postgresql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Estimate("SELECT * FROM no_such_table")
+	if !errors.Is(err, ErrUnplannable) {
+		t.Errorf("unknown table: %q must match ErrUnplannable", err)
+	}
+	if errors.Is(err, ErrNoEstimate) {
+		t.Errorf("unknown table must not match ErrNoEstimate: %q", err)
+	}
+
+	s, err := New(seeded(t, "sqlite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Estimate("SELECT * FROM t0")
+	if !errors.Is(err, ErrNoEstimate) {
+		t.Errorf("estimate-free plan: %q must match ErrNoEstimate", err)
+	}
+	if errors.Is(err, ErrUnplannable) {
+		t.Errorf("estimate-free plan is plannable: %q", err)
+	}
+}
+
+// TestRunCountsSkips: unplannable pairs still skip silently (CERT only
+// reasons about planned queries) but are now counted.
+func TestRunCountsSkips(t *testing.T) {
+	c, err := New(seeded(t, "postgresql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sqlancer.New(3)
+	// Three generator tables while the engine only has t0: pairs against
+	// t1/t2 cannot plan and must be skipped (and counted), pairs against
+	// t0 plan normally.
+	gen.SchemaSQL(3, 0)
+	vs, err := c.Run(gen, 12)
+	if err != nil {
+		t.Fatalf("unplannable pairs are not reportable: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("pristine engine flagged: %v", vs)
+	}
+	if c.Skipped == 0 {
+		t.Error("no unplannable pair was counted as skipped")
+	}
+	if c.Checked+c.Skipped != 12 {
+		t.Errorf("checked %d + skipped %d != 12 pairs", c.Checked, c.Skipped)
+	}
+}
+
+// TestCheckerSharesCachedConverter is the regression test for per-checker
+// registry rebuilds: every checker for a dialect must reuse the shared
+// cached converter instead of building a fresh registry.
+func TestCheckerSharesCachedConverter(t *testing.T) {
+	a, err := New(seeded(t, "mysql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(seeded(t, "mysql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.converter != b.converter {
+		t.Error("checkers built separate converters — the registry is being rebuilt per checker")
 	}
 }

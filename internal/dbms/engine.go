@@ -274,6 +274,11 @@ func (e *Engine) PhysicalPlan(query string) (*planner.PhysOp, error) {
 // Analyze refreshes optimizer statistics for all tables.
 func (e *Engine) Analyze() error { return e.DB.AnalyzeAll() }
 
+// Queries returns how many statements (Execute, Explain, ExplainAnalyze)
+// the engine has processed over its lifetime — the denominator campaign
+// throughput stats report against.
+func (e *Engine) Queries() int { return e.queries }
+
 // DefaultFormat returns the engine's primary structured format when it has
 // one, else its first supported format.
 func (e *Engine) DefaultFormat() explain.Format {

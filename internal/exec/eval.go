@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -14,6 +15,12 @@ import (
 	"uplan/internal/planner"
 	"uplan/internal/sql"
 )
+
+// ErrUnresolvedColumn reports a column reference that no scope could bind.
+// Callers that generate queries against a guessed schema (the TLP oracle,
+// fuzzing campaigns) match it with errors.Is to separate "the generator
+// named a column this table lacks" from genuine execution failures.
+var ErrUnresolvedColumn = errors.New("unresolved column")
 
 // scope is one level of column bindings; parent links implement correlated
 // subquery resolution.
@@ -67,7 +74,7 @@ func (ex *Executor) eval(e sql.Expr, sc *scope) (datum.D, error) {
 		if v, ok := sc.lookup(t.Table, t.Name); ok {
 			return v, nil
 		}
-		return datum.Null(), fmt.Errorf("exec: unresolved column %s", t.SQL())
+		return datum.Null(), fmt.Errorf("exec: %w %s", ErrUnresolvedColumn, t.SQL())
 	case *sql.Binary:
 		return ex.evalBinary(t, sc)
 	case *sql.Unary:

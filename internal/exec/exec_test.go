@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"uplan/internal/datum"
@@ -390,4 +392,27 @@ func TestQuirkLimitOffsetOrder(t *testing.T) {
 	h.mustRows(q, [][]datum.D{{datum.Int(2)}, {datum.Int(3)}})
 	h.ex.Quirks.LimitAppliesOffsetAfter = true
 	h.mustRows(q, [][]datum.D{{datum.Int(2)}})
+}
+
+// TestUnresolvedColumnSentinel pins the exported sentinel: an unresolved
+// column reference must be matchable with errors.Is through however many
+// layers wrap it, because the TLP/QPG campaigns use the sentinel (not
+// message text) to separate generator noise from genuine crashes.
+func TestUnresolvedColumnSentinel(t *testing.T) {
+	h := newHarness(t)
+	h.exec("CREATE TABLE t (c0 INT)")
+	h.exec("INSERT INTO t VALUES (1)")
+	_, err := h.tryExec("SELECT * FROM t WHERE nope = 1")
+	if err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if !errors.Is(err, ErrUnresolvedColumn) {
+		t.Errorf("error %q must match ErrUnresolvedColumn via errors.Is", err)
+	}
+	if !strings.Contains(err.Error(), "unresolved column nope") {
+		t.Errorf("message regressed: %q", err)
+	}
+	if _, err := h.tryExec("SELECT c0 FROM t"); err != nil {
+		t.Errorf("resolved column must not error: %v", err)
+	}
 }

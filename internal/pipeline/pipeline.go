@@ -37,7 +37,6 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"uplan/internal/convert"
@@ -439,64 +438,24 @@ func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
 	out := make([]Result, len(records))
 	stats := Stats{Dialects: map[string]*DialectStats{}}
 	start := time.Now()
-
-	chunk := opts.ChunkSize
-	nChunks := (len(records) + chunk - 1) / chunk
-	workers := opts.Workers
-	if workers > nChunks {
-		workers = nChunks
-	}
-	// Conversion is CPU-bound: workers beyond the schedulable cores (or
-	// beyond the chunk count) cannot overlap anything and only add
-	// scheduling overhead, so the batch never runs more than GOMAXPROCS
-	// goroutines however many workers were requested.
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
 	reg := opts.registry()
 
-	run := func(w *worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			w.do(&out[i], i, records[i])
-		}
-	}
-	switch {
-	case workers <= 0: // empty batch
-	case workers == 1:
-		w := newWorker(reg, opts.ReuseArenas)
-		run(w, 0, len(records))
-		for key, ld := range w.local {
-			stats.merge(key, ld.drain())
-		}
-	default:
-		var cursor atomic.Int64
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go func() {
-				defer wg.Done()
-				w := newWorker(reg, opts.ReuseArenas)
-				for {
-					hi := int(cursor.Add(int64(chunk)))
-					lo := hi - chunk
-					if lo >= len(records) {
-						break
-					}
-					if hi > len(records) {
-						hi = len(records)
-					}
-					run(w, lo, hi)
-				}
-				mu.Lock()
-				for key, ld := range w.local {
-					stats.merge(key, ld.drain())
-				}
-				mu.Unlock()
-			}()
-		}
-		wg.Wait()
-	}
+	// The claim-a-chunk/private-worker-state/merge-once-at-drain machinery
+	// lives in ForEachChunked (clamping workers to GOMAXPROCS and to the
+	// chunk count, running single-worker pools inline); ConvertBatch
+	// supplies the conversion worker and its stat merge.
+	ForEachChunked(len(records), opts.Workers, opts.ChunkSize,
+		func() *worker { return newWorker(reg, opts.ReuseArenas) },
+		func(w *worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w.do(&out[i], i, records[i])
+			}
+		},
+		func(w *worker) {
+			for key, ld := range w.local {
+				stats.merge(key, ld.drain())
+			}
+		})
 	stats.Elapsed = time.Since(start)
 	return out, stats
 }

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachChunked is the chunked-dispatch worker-pool core that ConvertBatch
+// pioneered, extracted so other fan-out subsystems (the campaign
+// orchestrator) reuse the same pattern: workers claim chunk-sized,
+// half-open index ranges [lo, hi) covering [0, n) through an atomic
+// cursor — no channels, no per-item synchronization — and each worker
+// carries a private state value S for its whole lifetime (converter
+// caches, arenas, local stat aggregates).
+//
+// newState builds one S per worker that runs; body processes one claimed
+// range and runs sequentially within its worker; drain is called exactly
+// once per worker, serialized under an internal mutex, so per-worker
+// aggregates merge into shared totals race-free.
+//
+// The pool is bounded: the worker count is clamped to the chunk count and
+// to GOMAXPROCS (the workloads are CPU-bound — goroutines beyond the
+// schedulable cores only add overhead), and a single-worker pool runs
+// inline on the calling goroutine. ForEachChunked returns once every index
+// has been processed and every drain has completed.
+func ForEachChunked[S any](n, workers, chunk int, newState func() S, body func(s S, lo, hi int), drain func(s S)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		s := newState()
+		body(s, 0, n)
+		drain(s)
+		return
+	}
+	var (
+		cursor atomic.Int64
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			s := newState()
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					break
+				}
+				if hi > n {
+					hi = n
+				}
+				body(s, lo, hi)
+			}
+			mu.Lock()
+			drain(s)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}

@@ -9,12 +9,13 @@
 package qpg
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/dbms"
+	"uplan/internal/exec"
 	"uplan/internal/sqlancer"
 	"uplan/internal/tlp"
 )
@@ -70,9 +71,28 @@ type Campaign struct {
 	Findings  []Finding
 	// NewPlans counts distinct plan fingerprints observed.
 	NewPlans int
+	// QueriesRun counts generated queries actually processed by Run —
+	// less than the budget when MaxFindings stops the campaign early.
+	QueriesRun int
+	// PlansObserved counts queries whose unified plan was successfully
+	// obtained and fingerprinted (the NewPlans denominator).
+	PlansObserved int
 	// Mutations counts applied database mutations.
 	Mutations int
+	// Observer, when set, receives every successfully converted plan
+	// before the campaign fingerprints it. The campaign orchestrator uses
+	// it to feed a cross-engine plan store. Plans built on the campaign's
+	// reused arena are only valid for the duration of the call — an
+	// observer that needs to keep one must Clone it.
+	Observer func(*core.Plan)
+
 	converter convert.Converter
+	// aconv and arena implement the allocation-lean observation loop: when
+	// the dialect's converter supports arenas, every plan is decoded into
+	// one campaign-owned arena that is reset before the next query, so a
+	// warmed-up campaign observes plans with no slab allocations.
+	aconv convert.ArenaConverter
+	arena *core.PlanArena
 }
 
 // New creates a campaign for the given engine dialect. The reference
@@ -89,7 +109,7 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{
+	c := &Campaign{
 		Engine:    target,
 		Reference: ref,
 		Gen:       sqlancer.New(opts.Seed),
@@ -104,7 +124,12 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 			IncludeConfiguration: true,
 		}),
 		converter: conv,
-	}, nil
+	}
+	if ac, ok := conv.(convert.ArenaConverter); ok {
+		c.aconv = ac
+		c.arena = core.NewPlanArena()
+	}
+	return c, nil
 }
 
 // Setup creates the random schema on both engines.
@@ -139,8 +164,13 @@ func (c *Campaign) Run(opts Options) []Finding {
 			break
 		}
 		query := c.Gen.Query()
+		c.QueriesRun++
 		// 1. Plan guidance: observe the unified plan of the query.
-		if fresh, ok := c.observePlan(query); ok && fresh {
+		fresh, ok := c.observePlan(query)
+		if ok {
+			c.PlansObserved++
+		}
+		if ok && fresh {
 			c.NewPlans++
 			stall = 0
 		} else {
@@ -168,10 +198,22 @@ func (c *Campaign) observePlan(query string) (fresh, ok bool) {
 		c.report(KindCrash, query, "EXPLAIN failed: "+err.Error())
 		return false, false
 	}
-	plan, err := c.converter.Convert(serialized)
+	var plan *core.Plan
+	if c.aconv != nil {
+		// Arena-backed ConvertInto path: the plan lives in the campaign's
+		// reused arena until the next observation resets it; the
+		// fingerprint set and the observer only read it.
+		c.arena.Reset()
+		plan, err = c.aconv.ConvertIn(serialized, c.arena)
+	} else {
+		plan, err = c.converter.Convert(serialized)
+	}
 	if err != nil {
 		c.report(KindPlan, query, err.Error())
 		return false, false
+	}
+	if c.Observer != nil {
+		c.Observer(plan)
 	}
 	return c.Plans.Observe(plan), true
 }
@@ -182,6 +224,11 @@ func (c *Campaign) checkDifferential(query string) {
 	switch {
 	case err1 != nil && err2 == nil:
 		c.report(KindCrash, query, err1.Error())
+	case err1 == nil && err2 != nil:
+		// The reference rejects a query the target accepts: just as
+		// asymmetric as the inverse case, and exactly the class of signal
+		// the differential oracle exists to surface.
+		c.report(KindCrash, query, "reference failed where target succeeded: "+err2.Error())
 	case err1 == nil && err2 == nil:
 		if diff := tlp.CompareResults(got, want); diff != "" {
 			c.report(KindLogic, query, "differs from reference: "+diff)
@@ -192,7 +239,11 @@ func (c *Campaign) checkDifferential(query string) {
 func (c *Campaign) checkTLP(table, pred string) {
 	v, err := tlp.Check(c.Engine, table, pred)
 	if err != nil {
-		if !strings.Contains(err.Error(), "unresolved column") {
+		// The generator guesses predicates against its own schema model, so
+		// a column the table lacks is expected noise, not a defect. Match
+		// the executor's sentinel instead of its message text: messages
+		// change, and unrelated errors may contain the same words.
+		if !errors.Is(err, exec.ErrUnresolvedColumn) {
 			c.report(KindCrash, "TLP "+table+" / "+pred, err.Error())
 		}
 		return

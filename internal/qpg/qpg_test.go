@@ -1,8 +1,10 @@
 package qpg
 
 import (
+	"strings"
 	"testing"
 
+	uplancore "uplan/internal/core"
 	"uplan/internal/dbms"
 )
 
@@ -78,5 +80,111 @@ func TestFindingsDeduplicated(t *testing.T) {
 			t.Fatalf("duplicate finding: %v", f)
 		}
 		seen[key] = true
+	}
+}
+
+// TestDifferentialReportsReferenceError is the regression test for the
+// asymmetric differential oracle: the reference engine failing where the
+// target succeeds used to be silently dropped.
+func TestDifferentialReportsReferenceError(t *testing.T) {
+	e := dbms.MustNew("postgresql")
+	opts := DefaultOptions()
+	c, err := New(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Desynchronize the engines: a table only the target knows makes the
+	// reference reject a query the target accepts.
+	if _, err := c.Engine.Execute("CREATE TABLE only_target (c0 INT)"); err != nil {
+		t.Fatal(err)
+	}
+	c.checkDifferential("SELECT * FROM only_target")
+	if len(c.Findings) != 1 {
+		t.Fatalf("reference-only error must be reported, findings = %v", c.Findings)
+	}
+	f := c.Findings[0]
+	if f.Kind != KindCrash {
+		t.Errorf("kind = %v, want %v", f.Kind, KindCrash)
+	}
+	if !strings.Contains(f.Detail, "reference failed where target succeeded") {
+		t.Errorf("detail = %q", f.Detail)
+	}
+
+	// The inverse asymmetry (target fails, reference succeeds) must still
+	// be reported, and symmetric failures must not be.
+	c.Findings = nil
+	if _, err := c.Reference.Execute("CREATE TABLE only_ref (c0 INT)"); err != nil {
+		t.Fatal(err)
+	}
+	c.checkDifferential("SELECT * FROM only_ref")
+	if len(c.Findings) != 1 || c.Findings[0].Kind != KindCrash {
+		t.Fatalf("target-only error must be reported, findings = %v", c.Findings)
+	}
+	c.Findings = nil
+	c.checkDifferential("SELECT * FROM neither_has_this")
+	if len(c.Findings) != 0 {
+		t.Errorf("symmetric failure is not a finding: %v", c.Findings)
+	}
+}
+
+// TestTLPFilterUsesSentinel is the regression test for the brittle
+// string-match error filter: unresolved-column noise is skipped via
+// errors.Is on exec.ErrUnresolvedColumn, while every other execution
+// failure — including ones that merely mention columns — is reported.
+func TestTLPFilterUsesSentinel(t *testing.T) {
+	e := dbms.MustNew("sqlite")
+	c, err := New(e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	table := c.Gen.Tables[0].Name
+
+	c.checkTLP(table, "no_such_column = 1")
+	if len(c.Findings) != 0 {
+		t.Fatalf("unresolved-column noise must be skipped: %v", c.Findings)
+	}
+
+	c.checkTLP(table, "c0 = = 1") // malformed predicate: a genuine failure
+	if len(c.Findings) != 1 {
+		t.Fatalf("non-sentinel error must be reported, findings = %v", c.Findings)
+	}
+	if c.Findings[0].Kind != KindCrash {
+		t.Errorf("kind = %v, want %v", c.Findings[0].Kind, KindCrash)
+	}
+}
+
+// TestObserverSeesPlans pins the campaign-orchestrator hook: every
+// successfully converted plan flows through Observer before being
+// fingerprinted, on the arena-backed decode path.
+func TestObserverSeesPlans(t *testing.T) {
+	e := dbms.MustNew("postgresql")
+	opts := DefaultOptions()
+	opts.Queries = 25
+	c, err := New(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := 0
+	c.Observer = func(p *uplancore.Plan) {
+		if p == nil || p.Root == nil {
+			t.Error("observer received an invalid plan")
+		}
+		observed++
+	}
+	if err := c.Setup(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(opts)
+	if observed == 0 {
+		t.Error("observer never called")
+	}
+	if observed < c.NewPlans {
+		t.Errorf("observed %d plans < %d new fingerprints", observed, c.NewPlans)
 	}
 }

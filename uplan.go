@@ -17,8 +17,10 @@
 package uplan
 
 import (
+	"uplan/internal/campaign"
 	"uplan/internal/convert"
 	"uplan/internal/core"
+	"uplan/internal/dbms"
 	"uplan/internal/pipeline"
 )
 
@@ -172,6 +174,49 @@ func ConvertBatch(records []BatchRecord, opts PipelineOptions) ([]BatchResult, B
 // dialect, so a long-lived pipeline amortizes converter construction
 // across the whole stream.
 func NewPipeline(opts PipelineOptions) *Pipeline { return pipeline.New(opts) }
+
+// Campaign orchestration types, re-exported from the campaign subsystem.
+type (
+	// CampaignOptions configures RunCampaigns: engines, oracles, query
+	// budget, top-level seed, worker-pool bound, and an optional defect
+	// injector.
+	CampaignOptions = campaign.Options
+	// CampaignResult is a campaign run's outcome: deduplicated findings in
+	// canonical order plus merged per-engine statistics.
+	CampaignResult = campaign.Result
+	// CampaignFinding is one deduplicated campaign discovery.
+	CampaignFinding = campaign.Finding
+	// CampaignStats aggregates a campaign run in the style of BatchStats.
+	CampaignStats = campaign.Stats
+	// CampaignEngineStats is one engine's aggregate within CampaignStats.
+	CampaignEngineStats = campaign.EngineStats
+	// CampaignOracle names a DBMS-agnostic testing technique ("qpg",
+	// "cert", "tlp").
+	CampaignOracle = campaign.Oracle
+	// CampaignEngine is one simulated engine instance — the value
+	// CampaignOptions.Inject receives, so facade users can plant defects
+	// (via its Quirks and Opts fields) without importing internal
+	// packages.
+	CampaignEngine = dbms.Engine
+)
+
+// DefaultCampaignOptions returns the campaign budget the smoke runs use.
+func DefaultCampaignOptions() CampaignOptions { return campaign.DefaultOptions() }
+
+// RunCampaigns fans the QPG, CERT, and TLP testing campaigns out across
+// the simulated engines (all nine by default) on a bounded worker pool —
+// the paper's application A.1 run fleet-wide. Findings are deduplicated
+// in a race-safe cross-engine store and returned in canonical order; each
+// (engine, oracle) task derives its generator seed from
+// CampaignOptions.Seed deterministically, so the same seed produces a
+// byte-identical finding set at any worker count.
+//
+//	res, err := uplan.RunCampaigns(uplan.DefaultCampaignOptions())
+//	fmt.Println(res.Stats)      // per-engine queries/sec, new-plan rate, findings
+//	for _, f := range res.Findings { fmt.Println(f) }
+func RunCampaigns(opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(opts)
+}
 
 // ParseText parses a unified plan from its text serialization (either the
 // strict EBNF form or the indented human-readable form).

@@ -1,6 +1,7 @@
 package uplan
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -232,5 +233,35 @@ func TestFacadeArenaLifecycle(t *testing.T) {
 		if !r.Plan.Equal(direct) {
 			t.Errorf("ReuseArenas batch plan differs from Convert's result")
 		}
+	}
+}
+
+// TestRunCampaignsFacade drives the whole nine-engine campaign fleet
+// through the public facade with a small budget: stats must cover every
+// engine, and the finding set must be seed-deterministic.
+func TestRunCampaignsFacade(t *testing.T) {
+	opts := DefaultCampaignOptions()
+	opts.Queries = 15
+	opts.Workers = 4
+	opts.Seed = 9
+	res, err := RunCampaigns(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Engines) != 9 {
+		t.Fatalf("campaign covered %d engines, want 9", len(res.Stats.Engines))
+	}
+	if res.Stats.DistinctPlans == 0 {
+		t.Error("no cross-engine plans observed")
+	}
+	if !strings.Contains(res.Stats.String(), "postgresql") {
+		t.Error("stats table must render per-engine rows")
+	}
+	again, err := RunCampaigns(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Findings, res.Findings) {
+		t.Errorf("findings not reproducible:\nfirst:  %v\nsecond: %v", res.Findings, again.Findings)
 	}
 }
