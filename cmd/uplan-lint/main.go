@@ -1,0 +1,99 @@
+// Command uplan-lint runs uplan's custom static-analysis suite — the
+// arenaescape, oracleerr, and hotalloc analyzers that mechanically enforce
+// the arena-lifecycle, oracle-error, and hot-path contracts — over the
+// given package patterns.
+//
+// Usage:
+//
+//	uplan-lint [flags] [packages]
+//
+//	uplan-lint ./...                       # whole tree, all analyzers
+//	uplan-lint -analyzers oracleerr ./...  # single-analyzer selection
+//	uplan-lint -json ./... | jq .          # machine-readable findings
+//
+// The process exits 0 when the tree is clean, 1 when any diagnostic was
+// reported, and 2 on usage or load errors. Findings are suppressed per
+// line with `//lint:allow <analyzer> <reason>`; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uplan/internal/lint"
+)
+
+func main() {
+	var (
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as JSON, one object per line")
+		listOnly  = flag.Bool("list", false, "list the available analyzers and exit")
+		dir       = flag.String("dir", "", "module directory to run in (default: current directory)")
+		extraDeny = flag.String("oracleerr.deny", "", "comma-separated additional deny-list entries (pkgpath.Func or pkgpath.Type.Method)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: uplan-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := lint.Select(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *extraDeny != "" {
+		for _, d := range strings.Split(*extraDeny, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				lint.OracleErrDeny = append(lint.OracleErrDeny, d)
+			}
+		}
+	}
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Column   int    `json:"column"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "uplan-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -70,6 +70,7 @@ var arenaPool = sync.Pool{New: func() any { return core.NewPlanArena() }}
 
 // convertPooled is the shared implementation of the converters' one-shot
 // Convert methods: ConvertIn into a pooled arena, detach, recycle.
+//uplan:hotpath
 func convertPooled(c ArenaConverter, serialized string) (*core.Plan, error) {
 	ar := arenaPool.Get().(*core.PlanArena)
 	p, err := c.ConvertIn(serialized, ar)
@@ -180,6 +181,7 @@ func Cached(dialect string) (Converter, error) {
 
 // parseScalar converts a property value string to a core.Value, detecting
 // numbers and booleans.
+//uplan:hotpath
 func parseScalar(s string) core.Value {
 	t := strings.TrimSpace(s)
 	switch t {
@@ -207,6 +209,7 @@ func parseScalar(s string) core.Value {
 // ParseFloat accepts (digits, sign/exponent/hex punctuation, and the
 // letters of inf/infinity/nan in either case), so no valid number is ever
 // filtered out — only guaranteed failures skip the call.
+//uplan:hotpath
 func looksNumeric(t string) bool {
 	if len(t) == 0 {
 		return false

@@ -33,6 +33,7 @@ func newJSONNodeIn(ar *core.PlanArena) *core.Node {
 // as-is instead of wrapping it like scanner errors.
 var errPGArrayElement = errors.New("convert: postgres json: unexpected array element")
 
+//uplan:hotpath
 func (c *postgresConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
 	sc.ar = ar
@@ -92,6 +93,7 @@ func (c *postgresConverter) convertJSON(s string, ar *core.PlanArena) (*core.Pla
 	return plan, nil
 }
 
+//uplan:hotpath
 func (c *postgresConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	node := newJSONNodeIn(ar)
 	sawType := false
@@ -308,6 +310,7 @@ func (c *postgresConverter) convertYAML(s string, ar *core.PlanArena) (*core.Pla
 
 // ------------------------------------------------------------ MySQL (JSON)
 
+//uplan:hotpath
 func (c *mysqlConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
 	sc.ar = ar
@@ -368,6 +371,7 @@ func addPlanPropTyped(ar *core.PlanArena, p *core.Plan, cat core.PropertyCategor
 	ar.AddPlanPropertyIn(p, cat, name, v)
 }
 
+//uplan:hotpath
 func (c *mysqlConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	node := newJSONNodeIn(ar)
 	sawOp := false
@@ -454,6 +458,7 @@ type tidbJSONFields struct {
 	OperatorInfo string
 }
 
+//uplan:hotpath
 func (c *tidbConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
 	sc.ar = ar
@@ -500,6 +505,7 @@ func (c *tidbConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, e
 	return plan, nil
 }
 
+//uplan:hotpath
 func (c *tidbConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	var in tidbJSONFields
 	var children []*core.Node
@@ -594,6 +600,7 @@ func (c *mongoConverter) Convert(s string) (*core.Plan, error) {
 	return convertPooled(c, s)
 }
 
+//uplan:hotpath
 func (c *mongoConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
 	sc.ar = ar
@@ -658,6 +665,7 @@ func (c *mongoConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, er
 	return plan, nil
 }
 
+//uplan:hotpath
 func (c *mongoConverter) scanStage(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	node := newJSONNodeIn(ar)
 	sawStage := false
@@ -736,6 +744,7 @@ func (c *mongoConverter) scanStage(sc *jsonScan, ar *core.PlanArena) (*core.Node
 
 // ------------------------------------------------------------ Neo4j (JSON)
 
+//uplan:hotpath
 func (c *neo4jConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, error) {
 	sc := newJSONScan(s)
 	sc.ar = ar
@@ -769,6 +778,7 @@ func (c *neo4jConverter) convertJSON(s string, ar *core.PlanArena) (*core.Plan, 
 	return plan, nil
 }
 
+//uplan:hotpath
 func (c *neo4jConverter) scanJSONNode(sc *jsonScan, ar *core.PlanArena) (*core.Node, error) {
 	node := newJSONNodeIn(ar)
 	sawOp := false

@@ -45,6 +45,7 @@ func (c *postgresConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan,
 // convertText parses the EXPLAIN text format: node lines carry a
 // "(cost=…)" annotation; "->" arrows encode nesting (6 columns per level);
 // property lines sit under their node; plan lines trail at column 0.
+//uplan:hotpath
 func (c *postgresConverter) convertText(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "postgresql"}
 	type frame struct {
@@ -112,6 +113,7 @@ func (c *postgresConverter) convertText(s string, ar *core.PlanArena) (*core.Pla
 }
 
 // parseNodeLine parses `Name on obj  (cost=a..b rows=N width=W) [actual…]`.
+//uplan:hotpath
 func (c *postgresConverter) parseNodeLine(line string, ar *core.PlanArena) (*core.Node, error) {
 	costIdx := strings.Index(line, "(cost=")
 	if costIdx < 0 {
@@ -243,6 +245,7 @@ func (c *mysqlConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, er
 }
 
 // convertTree parses EXPLAIN FORMAT=TREE: "-> " lines, 4 spaces/level.
+//uplan:hotpath
 func (c *mysqlConverter) convertTree(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "mysql"}
 	type frame struct {
@@ -290,6 +293,7 @@ func (c *mysqlConverter) parseTreeLine(title string, ar *core.PlanArena) *core.N
 // parseTreeLineInto parses a TREE operator title into an existing node —
 // the JSON decoder's "operation" strings reuse this without building (and
 // discarding) a second arena node per operator.
+//uplan:hotpath
 func (c *mysqlConverter) parseTreeLineInto(node *core.Node, title string, ar *core.PlanArena) {
 	// Split off the cost/actual annotations.
 	detailEnd := len(title)
@@ -338,6 +342,7 @@ func (c *mysqlConverter) parseTreeLineInto(node *core.Node, title string, ar *co
 
 // convertTable parses the classic tabular EXPLAIN: each row is one table
 // access; the result is a left-deep chain.
+//uplan:hotpath
 func (c *mysqlConverter) convertTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	rows, header, err := parseASCIITable(s)
 	if err != nil {
@@ -509,6 +514,7 @@ func (c *tidbConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, err
 	return c.convertTable(s, ar)
 }
 
+//uplan:hotpath
 func (c *tidbConverter) convertTable(s string, ar *core.PlanArena) (*core.Plan, error) {
 	rows, header, err := parseAlignedTable(s)
 	if err != nil {
@@ -625,6 +631,7 @@ func (c *sqliteConverter) Convert(s string) (*core.Plan, error) {
 	return convertPooled(c, s)
 }
 
+//uplan:hotpath
 func (c *sqliteConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "sqlite"}
 	type frame struct {
@@ -685,6 +692,7 @@ func (c *sqliteConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, e
 	return plan, nil
 }
 
+//uplan:hotpath
 func (c *sqliteConverter) parseLine(body string, ar *core.PlanArena) *core.Node {
 	name := body
 	rest := ""
@@ -739,6 +747,7 @@ func (c *sparkConverter) Convert(s string) (*core.Plan, error) {
 	return convertPooled(c, s)
 }
 
+//uplan:hotpath
 func (c *sparkConverter) ConvertIn(s string, ar *core.PlanArena) (*core.Plan, error) {
 	plan := &core.Plan{Source: "sparksql"}
 	type frame struct {

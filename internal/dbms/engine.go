@@ -185,10 +185,22 @@ func (e *Engine) Execute(query string) (*exec.Result, error) {
 	return ng.Run(plan)
 }
 
+// textResult wraps a serialized text plan as a one-column result, one row
+// per line. It runs once per EXPLAIN on the campaign loop, so lines are
+// cut with an index cursor rather than a per-call strings.Split slice.
+//
+//uplan:hotpath
 func textResult(s string) *exec.Result {
+	s = strings.TrimRight(s, "\n")
 	res := &exec.Result{Columns: []string{"QUERY PLAN"}}
-	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
-		res.Rows = append(res.Rows, []datum.D{datum.Str(line)})
+	for start := 0; start <= len(s); {
+		end := strings.IndexByte(s[start:], '\n')
+		if end < 0 {
+			res.Rows = append(res.Rows, []datum.D{datum.Str(s[start:])})
+			break
+		}
+		res.Rows = append(res.Rows, []datum.D{datum.Str(s[start : start+end])})
+		start += end + 1
 	}
 	return res
 }

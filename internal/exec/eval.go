@@ -483,10 +483,17 @@ func (ex *Executor) evalScalarFunc(f *sql.FuncCall, sc *scope) (datum.D, error) 
 		if len(args) == 0 || args[0].IsNull() {
 			return datum.Null(), nil
 		}
-		v, _ := args[0].AsFloat()
+		v, ok := args[0].AsFloat()
+		if !ok {
+			return datum.Null(), fmt.Errorf("exec: ROUND argument %s is not numeric", args[0])
+		}
 		digits := 0.0
 		if len(args) == 2 && !args[1].IsNull() {
-			digits, _ = args[1].AsFloat()
+			// Silently treating a bad digits argument as 0 rounds to the
+			// wrong precision and hides the defect from the oracles.
+			if digits, ok = args[1].AsFloat(); !ok {
+				return datum.Null(), fmt.Errorf("exec: ROUND digits argument %s is not numeric", args[1])
+			}
 		}
 		scale := math.Pow(10, digits)
 		return datum.Float(math.Round(v*scale) / scale), nil

@@ -251,7 +251,14 @@ func (ex *Executor) indexRowIDs(op *planner.PhysOp, tbl *storage.Table, outer *s
 			if !ok {
 				return nil, fmt.Errorf("exec: unsupported index condition %s", c.SQL())
 			}
-			_ = col
+			// The probe key below is built for the index's leading column;
+			// a conjunct targeting any other column would silently probe
+			// with the wrong value. The planner only emits leading-column
+			// conditions, so a mismatch here is a plan-corruption bug.
+			if !strings.EqualFold(col, ix.Def.Columns[0]) {
+				return nil, fmt.Errorf("exec: index condition on %q does not match leading column %q of index %q",
+					col, ix.Def.Columns[0], op.Index)
+			}
 			v, err := ex.eval(valExpr, constScope)
 			if err != nil {
 				return nil, err
@@ -276,6 +283,10 @@ func (ex *Executor) indexRowIDs(op *planner.PhysOp, tbl *storage.Table, outer *s
 				hi, hiInc, haveRange = &v, true, true
 			}
 		case *sql.InList:
+			// Same leading-column invariant as the comparison arm above.
+			if ref, ok := t.X.(*sql.ColumnRef); !ok || !strings.EqualFold(ref.Name, ix.Def.Columns[0]) {
+				return nil, fmt.Errorf("exec: unsupported index condition %s", c.SQL())
+			}
 			for _, item := range t.List {
 				v, err := ex.eval(item, constScope)
 				if err != nil {
@@ -291,6 +302,9 @@ func (ex *Executor) indexRowIDs(op *planner.PhysOp, tbl *storage.Table, outer *s
 			}
 			return ids, nil
 		case *sql.Between:
+			if ref, ok := t.X.(*sql.ColumnRef); !ok || !strings.EqualFold(ref.Name, ix.Def.Columns[0]) {
+				return nil, fmt.Errorf("exec: unsupported index condition %s", c.SQL())
+			}
 			loV, err := ex.eval(t.Lo, constScope)
 			if err != nil {
 				return nil, err

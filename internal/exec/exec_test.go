@@ -416,3 +416,60 @@ func TestUnresolvedColumnSentinel(t *testing.T) {
 		t.Errorf("resolved column must not error: %v", err)
 	}
 }
+
+// TestRoundBadArgumentsError is the regression test for the silently
+// dropped AsFloat results in ROUND: a non-numeric value or digits
+// argument must surface an execution error instead of silently rounding
+// the zero value (bad digits used to round to 0 digits).
+func TestRoundBadArgumentsError(t *testing.T) {
+	h := newHarness(t)
+	h.mustRows("SELECT ROUND(1.2345, 2)", [][]datum.D{{datum.Float(1.23)}})
+	h.mustRows("SELECT ROUND(2.5)", [][]datum.D{{datum.Float(3)}})
+	for _, q := range []string{
+		"SELECT ROUND('abc')",
+		"SELECT ROUND(1.234, 'xy')",
+	} {
+		if _, err := h.tryExec(q); err == nil || !strings.Contains(err.Error(), "ROUND") {
+			t.Errorf("%q: want a ROUND argument error, got %v", q, err)
+		}
+	}
+}
+
+// TestIndexCondLeadingColumnInvariant pins the check that replaced the
+// `_ = col` placeholder: an index-condition conjunct naming any column
+// other than the index's leading column must fail loudly instead of
+// probing the index with a value for the wrong column.
+func TestIndexCondLeadingColumnInvariant(t *testing.T) {
+	h := newHarness(t)
+	seedBasic(h)
+	h.exec("CREATE INDEX i1 ON t0 (c1)")
+	tbl := h.db.Table("t0")
+
+	mkOp := func(cond sql.Expr) *planner.PhysOp {
+		op := planner.NewOp(planner.OpIndexScan)
+		op.Table = "t0"
+		op.Index = "i1"
+		op.IndexCond = cond
+		return op
+	}
+	// Control: a leading-column probe resolves row IDs.
+	ids, err := h.ex.indexRowIDs(mkOp(&sql.Binary{
+		Op: sql.OpEq,
+		L:  &sql.ColumnRef{Name: "c1"},
+		R:  &sql.Literal{Val: datum.Int(20)},
+	}), tbl, nil)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("leading-column probe: ids=%v err=%v", ids, err)
+	}
+	// A condition on a non-index column must error, for every arm.
+	conds := []sql.Expr{
+		&sql.Binary{Op: sql.OpEq, L: &sql.ColumnRef{Name: "c0"}, R: &sql.Literal{Val: datum.Int(1)}},
+		&sql.InList{X: &sql.ColumnRef{Name: "c0"}, List: []sql.Expr{&sql.Literal{Val: datum.Int(1)}}},
+		&sql.Between{X: &sql.ColumnRef{Name: "c0"}, Lo: &sql.Literal{Val: datum.Int(1)}, Hi: &sql.Literal{Val: datum.Int(2)}},
+	}
+	for _, cond := range conds {
+		if _, err := h.ex.indexRowIDs(mkOp(cond), tbl, nil); err == nil {
+			t.Errorf("index condition %s on non-leading column should fail", cond.SQL())
+		}
+	}
+}

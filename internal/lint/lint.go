@@ -1,0 +1,296 @@
+// Package lint is uplan's custom static-analysis suite: three analyzers
+// that mechanically enforce the contracts this codebase otherwise guards
+// only by convention and code review.
+//
+//   - arenaescape: arena-backed plans and nodes must not escape a
+//     core.PlanArena lifecycle (Reset / pool-put / long-lived worker
+//     arena) without a Plan.Clone detach. This is the ownership rule
+//     documented on core.PlanArena; violating it is a use-after-Reset.
+//   - oracleerr: testing-oracle signal must not be dropped. Discarded
+//     error results on the oracle/exec/engine API deny-list, message-text
+//     error matching where an errors.Is sentinel exists, and errors
+//     swallowed inside worker-pool closures are all findings — the exact
+//     bug class a prior sweep fixed four instances of.
+//   - hotalloc: functions or packages marked //uplan:hotpath must stay
+//     free of known-allocating idioms the perf work eliminated: per-call
+//     convert.For registry rebuilds, strings.Split(s, "\n") line
+//     iteration, and fmt.Sprintf inside loops.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, analysistest-style golden packages under
+// testdata/) but is built purely on the standard library: packages are
+// loaded from source and typechecked against compiler export data
+// resolved through `go list -export`, so the tool needs no dependencies
+// beyond the Go toolchain itself.
+//
+// # Silencing a finding
+//
+// A finding can be suppressed with a directive comment on the flagged
+// line, or on the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason string is mandatory: an allow directive without one is
+// itself reported. Suppressions are per-analyzer; there is no blanket
+// "allow everything" form.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass: a name, documentation, and the
+// function that inspects a package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -analyzers selection,
+	// and //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is the interface between the driver and one analyzer run over
+// one package: the parsed and typechecked package plus the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// hot records the //uplan:hotpath scope for this package; populated
+	// by the driver before Run.
+	hot hotScope
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ArenaEscape, OracleErr, HotAlloc}
+}
+
+// Select resolves a comma-separated analyzer-name list ("" means all).
+func Select(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, strings.Join(analyzerNames(all), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty analyzer selection %q", names)
+	}
+	return out, nil
+}
+
+func analyzerNames(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics in (file, line, column, analyzer) order. //lint:allow
+// directives are honored here: a suppressed finding is dropped, and an
+// allow directive missing its reason becomes a finding of its own.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		hot := collectHotScope(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				hot:      hot,
+				report: func(d Diagnostic) {
+					if dirs.allows(d.Analyzer, d.Pos) {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = append(diags, dirs.malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------- //lint:allow
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// directives indexes a package's //lint:allow comments by file and line.
+type directives struct {
+	// byLine maps file -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int][]string
+	// malformed holds diagnostics for allow directives without a reason.
+	malformed []Diagnostic
+}
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	ds := &directives{byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow %s requires a reason string", m[1]),
+					})
+					continue
+				}
+				lines := ds.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ds.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], m[1])
+			}
+		}
+	}
+	return ds
+}
+
+// allows reports whether a directive on the diagnostic's line, or on the
+// line directly above it, names the analyzer.
+func (ds *directives) allows(analyzer string, pos token.Position) bool {
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------- //uplan:hotpath
+
+// hotScope records which code the //uplan:hotpath directive covers: the
+// whole package (directive in any file's package doc) or individual
+// functions (directive in the function's doc comment).
+type hotScope struct {
+	pkg bool
+	// funcs holds the body source ranges of hot functions.
+	funcs []posRange
+}
+
+type posRange struct{ start, end token.Pos }
+
+func hasHotDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//uplan:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func collectHotScope(fset *token.FileSet, files []*ast.File) hotScope {
+	var hs hotScope
+	for _, f := range files {
+		if hasHotDirective(f.Doc) {
+			hs.pkg = true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotDirective(fd.Doc) {
+				continue
+			}
+			hs.funcs = append(hs.funcs, posRange{fd.Pos(), fd.End()})
+		}
+	}
+	return hs
+}
+
+// InHotPath reports whether pos falls inside a //uplan:hotpath scope:
+// anywhere in a marked package, or inside a marked function.
+func (p *Pass) InHotPath(pos token.Pos) bool {
+	if p.hot.pkg {
+		return true
+	}
+	for _, r := range p.hot.funcs {
+		if r.start <= pos && pos < r.end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+// Package linttest is the analysistest analogue for uplan's lint
+// framework: it loads a golden package from testdata, runs one analyzer
+// over it, and checks the reported diagnostics against want comments in
+// the source.
+//
+// A want comment holds one or more quoted or backquoted regular
+// expressions and binds to the source line it sits on:
+//
+//	_ = e.Analyze() // want `assigned to _`
+//
+// Use a block form (/* want `...` */) when the line already carries a
+// line comment — e.g. when the expectation targets a //lint:allow
+// directive itself. Every diagnostic must match an unclaimed expectation
+// on its line, and every expectation must be claimed by a diagnostic;
+// files without want comments double as the false-positive corpus.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"uplan/internal/lint"
+)
+
+// Run loads testdata/src/<name> (relative to the calling test's working
+// directory), typechecks it against the module's export data, applies the
+// analyzer, and reports every mismatch between diagnostics and want
+// comments as a test error.
+func Run(t *testing.T, a *lint.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(moduleDir, dir, "uplan/internal/lint/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claim(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// expectation is one want regex bound to a source line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantTokenRe matches one backquoted or double-quoted regex token inside
+// a want comment.
+var wantTokenRe = regexp.MustCompile("`[^`]*`|\"(?:\\\\.|[^\"\\\\])*\"")
+
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if strings.HasPrefix(text, "//") {
+					text = text[2:]
+				} else {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantTokenRe.FindAllString(rest, -1)
+				if len(toks) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted regex: %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, tok := range toks {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want token %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// claim marks the first unclaimed expectation on (file, line) whose regex
+// matches msg, reporting whether one was found.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

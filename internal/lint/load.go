@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, and typechecked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir for the given patterns
+// and returns the decoded package stream. -export makes the toolchain
+// write compiler export data for every listed package into the build
+// cache, which is what lets the typechecker resolve imports without any
+// third-party loader.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap indexes every listed package's export-data file by import
+// path, for the gc importer's lookup function.
+func exportMap(pkgs []listedPkg) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// newImporter returns a types.Importer resolving through the export map.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for import %q (run `go build ./...` first?)", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheck parses and typechecks one package directory from source.
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load lists the patterns relative to dir (the module root; "" means the
+// current directory), typechecks every matching non-standard package from
+// source, and returns them ready for analysis. Standard-library and
+// dependency-only packages are consumed as export data, never analyzed.
+// Test files are not loaded; the suite lints shipping code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	exports := exportMap(listed)
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			// Cgo files need the full build pipeline to typecheck; this
+			// module has none, so skipping is a gate, not a loss.
+			continue
+		}
+		pkg, err := typecheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typechecking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// ------------------------------------------------- testdata package loading
+
+var (
+	testExportsOnce sync.Once
+	testExports     map[string]string
+	testExportsErr  error
+)
+
+// moduleExports builds (once per process) the export map for every module
+// package and its dependencies, rooted at moduleDir. LoadDir uses it to
+// resolve testdata imports of real uplan packages and the standard
+// library.
+func moduleExports(moduleDir string) (map[string]string, error) {
+	testExportsOnce.Do(func() {
+		listed, err := goList(moduleDir, []string{"./..."})
+		if err != nil {
+			testExportsErr = err
+			return
+		}
+		testExports = exportMap(listed)
+	})
+	return testExports, testExportsErr
+}
+
+// LoadDir parses and typechecks a single directory of Go files that is
+// not part of the module build — the analysistest-style golden packages
+// under testdata/ — resolving its imports against the module's export
+// data. importPath is the synthetic path the package is checked under.
+func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	exports, err := moduleExports(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	pkg, err := typecheck(fset, imp, importPath, dir, goFiles)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", dir, err)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"uplan/internal/lint"
+	"uplan/internal/lint/linttest"
+)
+
+func TestArenaEscape(t *testing.T) { linttest.Run(t, lint.ArenaEscape, "arenaescape") }
+
+func TestOracleErr(t *testing.T) { linttest.Run(t, lint.OracleErr, "oracleerr") }
+
+func TestHotAlloc(t *testing.T) { linttest.Run(t, lint.HotAlloc, "hotalloc") }
+
+// TestHotAllocPackageScope checks the package-doc form of the directive.
+func TestHotAllocPackageScope(t *testing.T) { linttest.Run(t, lint.HotAlloc, "hotallocpkg") }
+
+// TestAllowDirectives checks //lint:allow suppression and the mandatory
+// reason string.
+func TestAllowDirectives(t *testing.T) { linttest.Run(t, lint.OracleErr, "allowdir") }
+
+func TestSelect(t *testing.T) {
+	all, err := lint.Select("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 3", len(all), err)
+	}
+	two, err := lint.Select("hotalloc, oracleerr")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(\"hotalloc, oracleerr\") = %d analyzers, err %v; want 2", len(two), err)
+	}
+	if two[0].Name != "hotalloc" || two[1].Name != "oracleerr" {
+		t.Fatalf("Select kept wrong analyzers: %s, %s", two[0].Name, two[1].Name)
+	}
+	if _, err := lint.Select("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("Select(\"nosuch\") err = %v; want unknown-analyzer error", err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package hotallocpkg is hot in its entirety: the package doc carries
+// the //uplan:hotpath directive, putting every function in scope.
+//
+//uplan:hotpath
+package hotallocpkg
+
+import "strings"
+
+func lines(s string) []string {
+	return strings.Split(s, "\n") // want `strings\.Split over`
+}
+
+func fields(s string) []string {
+	return strings.Split(s, "|")
+}

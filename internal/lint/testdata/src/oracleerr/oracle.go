@@ -1,0 +1,67 @@
+// Package oracleerr exercises the oracleerr analyzer: dropped oracle
+// signal, message-text error matching, and worker-closure discards. The
+// first two functions are the exact bug shapes a prior sweep fixed in
+// the campaign oracles.
+package oracleerr
+
+import (
+	"strings"
+
+	"uplan/internal/dbms"
+	"uplan/internal/pipeline"
+)
+
+// dropAnalyze is the post-mutation ANALYZE drop: a failed statistics
+// refresh is itself a finding, silently discarded here.
+func dropAnalyze(e *dbms.Engine) {
+	_ = e.Analyze() // want `error result of dbms\.Engine\.Analyze assigned to _`
+}
+
+// bareAnalyze drops the same signal without even a blank assignment.
+func bareAnalyze(e *dbms.Engine) {
+	e.Analyze() // want `error result of dbms\.Engine\.Analyze discarded \(bare call\)`
+}
+
+// dropExecuteErr keeps the rows but discards the error that would have
+// distinguished a crash finding from an empty result.
+func dropExecuteErr(e *dbms.Engine, q string) int {
+	res, _ := e.Execute(q) // want `error result of dbms\.Engine\.Execute assigned to _`
+	if res == nil {
+		return 0
+	}
+	return len(res.Rows)
+}
+
+// campaignWorkers swallows a non-deny-listed error inside a worker
+// closure, where no caller can ever observe it.
+func campaignWorkers(e *dbms.Engine, qs []string) {
+	pipeline.ForEachChunked(len(qs), 2, 4,
+		func() int { return 0 },
+		func(s, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				_ = runOne(e, qs[i]) // want `error result of oracleerr\.runOne discarded inside a worker closure`
+			}
+		},
+		func(s int) {})
+}
+
+func runOne(e *dbms.Engine, q string) error {
+	_, err := e.Execute(q)
+	return err
+}
+
+// brittleFilter matches an error by message fragment where an errors.Is
+// sentinel exists.
+func brittleFilter(err error) bool {
+	return strings.Contains(err.Error(), "unresolved column") // want `an errors\.Is sentinel exists: exec\.ErrUnresolvedColumn`
+}
+
+// prefixFilter is the same brittle class without a known sentinel.
+func prefixFilter(err error) bool {
+	return strings.HasPrefix(err.Error(), "exec:") // want `match errors with errors\.Is`
+}
+
+// compareText string-compares the rendered error.
+func compareText(err error) bool {
+	return err.Error() == "ghost table" // want `comparing err\.Error\(\) text`
+}

@@ -182,10 +182,12 @@ func newWorker(reg *core.Registry, reuseArenas bool) *worker {
 // worker-local stats. In owned-batch mode (ReuseArenas) the plan is built
 // in the worker's arena and detached with Plan.Clone before it escapes:
 // the Result must stay valid after the arena is reset for the next record.
+//uplan:hotpath
 func (w *worker) do(res *Result, seq int, rec Record) {
 	key := strings.ToLower(rec.Dialect)
 	e, ok := w.convs[key]
 	if !ok {
+		//lint:allow hotalloc once per (worker, dialect) cache miss, not per record
 		c, err := convert.For(key, w.reg)
 		e = convEntry{conv: c, err: err}
 		w.convs[key] = e

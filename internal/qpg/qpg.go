@@ -267,8 +267,23 @@ func (c *Campaign) mutate() {
 		// only if both fail — verify by probing a cheap query.
 		return
 	}
-	_ = c.Engine.Analyze()
-	_ = c.Reference.Analyze()
+	// Statistics refresh feeds the planner's estimates (the CERT-relevant
+	// state): a failure here is oracle signal, not noise. An asymmetric
+	// failure is exactly the class the differential oracle reports; a
+	// symmetric one means neither engine has comparable post-mutation
+	// state, so the divergence probe below would compare stale data.
+	errT := c.Engine.Analyze()
+	errR := c.Reference.Analyze()
+	switch {
+	case errT != nil && errR == nil:
+		c.report(KindCrash, stmt, "ANALYZE after mutation failed on target: "+errT.Error())
+		return
+	case errT == nil && errR != nil:
+		c.report(KindCrash, stmt, "reference ANALYZE failed where target succeeded: "+errR.Error())
+		return
+	case errT != nil && errR != nil:
+		return
+	}
 	// After a mutation, update-path defects surface as data divergence.
 	for _, t := range c.Gen.Tables {
 		q := "SELECT * FROM " + t.Name

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"uplan/internal/catalog"
 	uplancore "uplan/internal/core"
 	"uplan/internal/dbms"
 )
@@ -186,5 +187,45 @@ func TestObserverSeesPlans(t *testing.T) {
 	}
 	if observed < c.NewPlans {
 		t.Errorf("observed %d plans < %d new fingerprints", observed, c.NewPlans)
+	}
+}
+
+// TestMutateReportsAnalyzeFailure is the regression test for the dropped
+// Engine.Analyze/Reference.Analyze errors in mutate(): a statistics
+// refresh that fails on one engine but not the other is exactly the
+// asymmetric, CERT-relevant signal the campaign must report instead of
+// silently comparing stale estimates.
+func TestMutateReportsAnalyzeFailure(t *testing.T) {
+	for _, side := range []string{"target", "reference"} {
+		c, err := New(dbms.MustNew("sqlite"), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Setup(2, 8); err != nil {
+			t.Fatal(err)
+		}
+		// A catalog entry with no backing storage table makes AnalyzeAll
+		// fail on exactly one engine.
+		victim := c.Engine
+		if side == "reference" {
+			victim = c.Reference
+		}
+		if err := victim.DB.Schema.AddTable(&catalog.Table{Name: "ghost"}); err != nil {
+			t.Fatal(err)
+		}
+		// Mutations may legitimately fail (unique violations) before the
+		// ANALYZE step; a few attempts make the path deterministic.
+		for i := 0; i < 8 && len(c.Findings) == 0; i++ {
+			c.mutate()
+		}
+		found := false
+		for _, f := range c.Findings {
+			if f.Kind == KindCrash && strings.Contains(f.Detail, "ANALYZE") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s-side ANALYZE failure after mutation was not reported; findings: %v", side, c.Findings)
+		}
 	}
 }
