@@ -9,6 +9,7 @@
 //
 //	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign]
 //	            [-parallel N] [-reuse-arenas] [-iters N] [-queries N] [-out FILE]
+//	            [-store DIR] [-resume] [-checkpoint-every N]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel N runs the batch experiment through the conversion pipeline
@@ -29,18 +30,31 @@
 // task, printing per-engine stats and the deduplicated findings. The
 // finding set depends only on -seed, never on -parallel.
 //
+// -store DIR journals the campaign through the durable plan-and-finding
+// log (internal/store): every plan fingerprint, finding, and per-task
+// checkpoint survives a crash at any byte. SIGINT/SIGTERM cancel the run
+// cooperatively — workers stop at the next query boundary, the final
+// state is flushed, partial stats print, and the process exits 0.
+// -resume continues an interrupted campaign from DIR: finished tasks are
+// skipped, the rest re-run, and the combined outcome is byte-identical
+// to an uninterrupted run. -checkpoint-every N bounds mid-task loss.
+//
 // -cpuprofile / -memprofile write pprof profiles covering whichever
 // experiments ran, so hot-path regressions can be diagnosed with
 // `go tool pprof` straight from this binary.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"uplan/internal/bench"
@@ -48,6 +62,7 @@ import (
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/pipeline"
+	"uplan/internal/store"
 )
 
 // batchResult is the machine-readable outcome of the batch experiment,
@@ -85,6 +100,9 @@ func main() {
 	reuseArenas := flag.Bool("reuse-arenas", false, "batch experiment: per-worker reusable arenas (owned-batch mode)")
 	iters := flag.Int("iters", 2000, "text experiment: conversions per dialect per path")
 	queries := flag.Int("queries", 100, "campaign experiment: generated-query budget per engine/oracle task")
+	storeDir := flag.String("store", "", "campaign experiment: journal plans, findings, and checkpoints to this durable log directory")
+	resume := flag.Bool("resume", false, "campaign experiment: resume an interrupted campaign from the -store directory")
+	checkpointEvery := flag.Int("checkpoint-every", 50, "campaign experiment: queries between mid-task durability checkpoints (0 = task boundaries only)")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
@@ -147,9 +165,47 @@ func main() {
 		copts.Seed = *seed
 		copts.Workers = *parallel
 		copts.Queries = *queries
+		if *resume && *storeDir == "" {
+			fail(fmt.Errorf("-resume requires -store DIR"))
+		}
+		if *storeDir != "" {
+			log, err := store.Open(*storeDir, store.Options{})
+			if err != nil {
+				fail(err)
+			}
+			copts.Store = log
+			copts.Resume = *resume
+			copts.CheckpointEvery = *checkpointEvery
+			defer func() {
+				if err := log.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "uplan-bench:", err)
+				}
+			}()
+			if *resume {
+				rec := log.Recovered()
+				fmt.Printf("resuming from %s: %d plans, %d findings, %d checkpointed tasks recovered",
+					*storeDir, len(rec.Plans), len(rec.Findings), len(rec.Progress))
+				if rec.Truncated > 0 {
+					fmt.Printf(" (%d torn frame(s), %d byte(s) truncated)", rec.Truncated, rec.DroppedBytes)
+				}
+				fmt.Println()
+			}
+		}
+		// A signal cancels the run cooperatively: workers stop at the next
+		// query boundary, everything journaled so far is synced, and the
+		// partial stats below still print — the run is interrupted, not
+		// lost, and -resume picks it up where it stopped.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		copts.Context = ctx
 		res, err := campaign.Run(copts)
-		if err != nil {
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
 			fail(err)
+		}
+		if interrupted {
+			fmt.Printf("== Campaign interrupted (state saved%s) — partial results ==\n",
+				map[bool]string{true: " to " + *storeDir, false: ""}[*storeDir != ""])
 		}
 		fmt.Printf("== Campaign: %d engines x %d oracles, %d queries per task, seed %d ==\n",
 			len(res.Stats.Engines), len(campaign.AllOracles()), *queries, *seed)

@@ -16,10 +16,12 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"strings"
 	"time"
 
 	"uplan/internal/cert"
@@ -29,6 +31,7 @@ import (
 	"uplan/internal/pipeline"
 	"uplan/internal/qpg"
 	"uplan/internal/sqlancer"
+	pstore "uplan/internal/store"
 	"uplan/internal/tlp"
 )
 
@@ -101,6 +104,39 @@ type Options struct {
 	// construction — the hook the Table V reproduction uses to plant
 	// defects. QPG's pristine reference engines are never injected.
 	Inject func(e *dbms.Engine)
+	// Context, when non-nil, cancels the run cooperatively: workers stop
+	// claiming tasks, in-flight tasks yield at their next query boundary,
+	// and Run returns the partial result with ctx's error joined into the
+	// returned error. With a Store attached, everything produced before
+	// cancellation is journaled, so a later Resume run completes the
+	// campaign with the byte-identical finding set of an uninterrupted one.
+	Context context.Context
+	// Store, when non-nil, is the durable plan-and-finding log the run
+	// journals through: every new plan fingerprint, every new finding, and
+	// a Done checkpoint per completed task. The caller owns the store
+	// (Run syncs it but never closes it). Persistence failures are sticky
+	// and joined into Run's error; the in-memory result stays complete.
+	Store *pstore.Store
+	// CheckpointEvery, when positive, additionally writes a durable
+	// progress record every that-many queries inside each task, bounding
+	// the data a crash can leave unsynced. Zero checkpoints only at task
+	// completion. Either way the resume unit is the task: only Done
+	// checkpoints let a resumed run skip work.
+	CheckpointEvery int
+	// Resume permits running against a non-empty Store: tasks with a
+	// recovered Done checkpoint are skipped (their stats and findings come
+	// from the log), the rest re-run from scratch. The options must match
+	// the ones the store was created with (enforced via a config stamp);
+	// Inject is the one exception — it cannot be serialized, so a resumed
+	// run must supply the same injection by hand. Without Resume, a
+	// non-empty store is an error: refusing to silently mix two campaigns'
+	// journals is what keeps a log attributable to one configuration.
+	Resume bool
+	// OnProgress, when set, is invoked after every durably written
+	// checkpoint (periodic and Done alike), from whichever worker wrote
+	// it. Tests and progress UIs hook it; it must be safe for concurrent
+	// use.
+	OnProgress func(p pstore.TaskProgress)
 }
 
 // DefaultOptions returns the budget the campaign smoke runs use.
@@ -140,6 +176,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// metaBlob renders the determinism-relevant options as the store's config
+// stamp. Must be called after withDefaults so the engine and oracle lists
+// are concrete. Workers, CheckpointEvery, and the callbacks are excluded
+// on purpose: they change scheduling and durability cadence, never the
+// finding set, so they may differ between the original and resumed run.
+func (o Options) metaBlob() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uplan-campaign v1\nseed=%d queries=%d stall=%d tables=%d rows=%d maxfindings=%d\n",
+		o.Seed, o.Queries, o.StallThreshold, o.Tables, o.Rows, o.MaxFindings)
+	fmt.Fprintf(&b, "engines=%s\n", strings.Join(o.Engines, ","))
+	oracles := make([]string, len(o.Oracles))
+	for i, or := range o.Oracles {
+		oracles[i] = string(or)
+	}
+	fmt.Fprintf(&b, "oracles=%s\n", strings.Join(oracles, ","))
+	return []byte(b.String())
+}
+
 // Result is a campaign run's outcome: the deduplicated findings in
 // canonical order plus the merged statistics.
 type Result struct {
@@ -171,6 +225,10 @@ type taskDelta struct {
 // Result still covers every task that ran.
 func Run(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tasks := make([]task, 0, len(opts.Engines)*len(opts.Oracles))
 	for _, e := range opts.Engines {
 		for _, o := range opts.Oracles {
@@ -178,18 +236,58 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
-	st := newStore()
+	st := newStore(opts.Store)
+	// done maps tasks whose Done checkpoint was recovered; built before
+	// the pool starts, read-only inside it.
+	done := map[task]pstore.TaskProgress{}
+	if opts.Store != nil {
+		rec := opts.Store.Recovered()
+		if !rec.Empty() && !opts.Resume {
+			return nil, fmt.Errorf("campaign: store %q already holds a run; set Resume to continue it or point at a fresh directory", opts.Store.Dir())
+		}
+		// Stamp (or, on resume, validate) the configuration: AppendMeta is
+		// idempotent on an identical blob and errors on a different one,
+		// which is exactly the resume-under-changed-options guard.
+		if err := opts.Store.AppendMeta(opts.metaBlob()); err != nil {
+			return nil, fmt.Errorf("campaign: config stamp: %w", err)
+		}
+		if opts.Resume {
+			for key, p := range rec.Progress {
+				if p.Done {
+					done[task{engine: key.Engine, oracle: Oracle(key.Oracle)}] = p
+				}
+			}
+			// Every recovered plan key seeds the cross-engine set (union
+			// semantics); findings seed only from finished tasks, so an
+			// unfinished task re-runs in a clean per-task dedup space.
+			st.seedPlans(rec.Plans)
+			for _, f := range rec.Findings {
+				if _, ok := done[task{engine: f.Engine, oracle: Oracle(f.Oracle)}]; ok {
+					st.seedFinding(Finding{
+						Engine: f.Engine, Oracle: Oracle(f.Oracle),
+						Kind: Kind(f.Kind), Query: f.Query, Detail: f.Detail,
+					})
+				}
+			}
+		}
+	}
+
 	start := time.Now()
 	deltas := make([]taskDelta, len(tasks))
 	// Chunk size 1: campaign tasks are seconds-long, so per-task claiming
 	// keeps the pool balanced; the worker state the conversion pipeline
 	// threads through the pool is unused here because every task owns its
-	// engines outright.
-	pipeline.ForEachChunked(len(tasks), opts.Workers, 1,
+	// engines outright. Cancellation stops claiming; the claimed task
+	// yields at its next query boundary via its ticker.
+	pipeline.ForEachChunkedCtx(ctx, len(tasks), opts.Workers, 1,
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				deltas[i] = runTask(tasks[i], opts, st)
+				if p, ok := done[tasks[i]]; ok {
+					deltas[i] = deltaFromProgress(p)
+					continue
+				}
+				deltas[i] = runTask(ctx, tasks[i], opts, st)
 			}
 		},
 		func(struct{}) {})
@@ -221,7 +319,67 @@ func Run(opts Options) (*Result, error) {
 		es.Findings++
 		es.ByKind[f.Kind]++
 	}
+	// Final durability barrier: whatever the tasks journaled is on disk
+	// before Run returns, even when no checkpoint happened to land last.
+	if opts.Store != nil {
+		if err := opts.Store.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("campaign: store sync: %w", err))
+		}
+	}
+	if err := st.persistErr(); err != nil {
+		errs = append(errs, fmt.Errorf("campaign: persistence: %w", err))
+	}
+	if err := ctx.Err(); err != nil {
+		// A cancelled run's result is valid but partial; surfacing ctx's
+		// error lets callers distinguish it from a completed run.
+		errs = append(errs, err)
+	}
 	return res, errors.Join(errs...)
+}
+
+// deltaFromProgress reconstructs a finished task's stats contribution
+// from its recovered Done checkpoint, so a resumed run reports the exact
+// numbers of an uninterrupted one without re-running the task.
+func deltaFromProgress(p pstore.TaskProgress) taskDelta {
+	return taskDelta{
+		queries:       p.Queries,
+		statements:    p.Statements,
+		planQueries:   p.PlanQueries,
+		newPlans:      p.NewPlans,
+		distinctPlans: p.DistinctPlans,
+		mutations:     p.Mutations,
+		checks:        p.Checks,
+		skipped:       p.Skipped,
+	}
+}
+
+// ticker threads a task's cooperative cancellation and periodic
+// checkpointing through its oracle loop: consulted once per query, it
+// stops the loop when the run's context is done and, at the configured
+// cadence, journals a Done=false progress record so a crash loses at
+// most CheckpointEvery queries of unsynced work.
+type ticker struct {
+	ctx        context.Context
+	st         *store
+	every      int
+	prog       pstore.TaskProgress // task identity; counters zero except Queries
+	last       int
+	onProgress func(pstore.TaskProgress)
+}
+
+func (tk *ticker) tick(queries int) bool {
+	if tk.ctx.Err() != nil {
+		return false
+	}
+	if tk.every > 0 && queries-tk.last >= tk.every {
+		tk.last = queries
+		p := tk.prog
+		p.Queries = queries
+		if tk.st.checkpoint(p) && tk.onProgress != nil {
+			tk.onProgress(p)
+		}
+	}
+	return true
 }
 
 // deriveSeed mixes the top-level seed with the task identity so every
@@ -236,7 +394,11 @@ func deriveSeed(seed int64, engine string, oracle Oracle) int64 {
 }
 
 // runTask builds the task's target engine and dispatches to its oracle.
-func runTask(t task, opts Options, st *store) taskDelta {
+// A task that runs to completion (no hard failure, no cancellation)
+// journals a Done checkpoint: the store syncs the task's data shards
+// before the marker, so a recovered Done proves the task's plans and
+// findings survived too — the ordering resume correctness rests on.
+func runTask(ctx context.Context, t task, opts Options, st *store) taskDelta {
 	var d taskDelta
 	e, err := dbms.New(t.engine)
 	if err != nil {
@@ -246,25 +408,46 @@ func runTask(t task, opts Options, st *store) taskDelta {
 	if opts.Inject != nil {
 		opts.Inject(e)
 	}
+	tk := &ticker{
+		ctx:        ctx,
+		st:         st,
+		every:      opts.CheckpointEvery,
+		prog:       pstore.TaskProgress{Engine: t.engine, Oracle: string(t.oracle)},
+		onProgress: opts.OnProgress,
+	}
 	seed := deriveSeed(opts.Seed, t.engine, t.oracle)
 	switch t.oracle {
 	case OracleQPG:
-		runQPGTask(e, seed, opts, st, &d)
+		runQPGTask(e, seed, opts, st, tk, &d)
 	case OracleCERT:
-		runCERTTask(e, seed, opts, st, &d)
+		runCERTTask(e, seed, opts, st, tk, &d)
 	case OracleTLP:
-		runTLPTask(e, seed, opts, st, &d)
+		runTLPTask(e, seed, opts, st, tk, &d)
 	default:
 		d.err = fmt.Errorf("unknown oracle %q", t.oracle)
 	}
 	d.statements = e.Queries()
+	if d.err == nil && ctx.Err() == nil {
+		// Failed tasks never get a Done marker: a resumed run re-runs them
+		// and resurfaces the error instead of silently forgetting it.
+		p := pstore.TaskProgress{
+			Engine: t.engine, Oracle: string(t.oracle), Done: true,
+			Queries: d.queries, Statements: d.statements,
+			PlanQueries: d.planQueries, NewPlans: d.newPlans,
+			DistinctPlans: d.distinctPlans, Mutations: d.mutations,
+			Checks: d.checks, Skipped: d.skipped,
+		}
+		if st.checkpoint(p) && opts.OnProgress != nil {
+			opts.OnProgress(p)
+		}
+	}
 	return d
 }
 
 // runQPGTask runs a full QPG campaign (plan guidance, differential and TLP
 // oracles, mutation feedback) against the engine, streaming every observed
 // unified plan into the cross-engine store.
-func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
 	qopts := qpg.Options{
 		Queries:        opts.Queries,
 		StallThreshold: opts.StallThreshold,
@@ -279,6 +462,7 @@ func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelt
 	// The campaign's hot loop decodes plans into a reused arena; the
 	// observer must only fingerprint, never retain.
 	c.Observer = func(p *core.Plan) { st.observePlan(p) }
+	c.Tick = tk.tick
 	if err := c.Setup(opts.Tables, opts.Rows); err != nil {
 		d.err = err
 		return
@@ -303,7 +487,7 @@ func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelt
 // estimates must shrink. Unplannable pairs are skipped; a readable-estimate
 // failure is itself a finding (the engine planned the query but its plan
 // exposes no estimate, or the plan did not convert).
-func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
 	gen := sqlancer.New(seed)
 	if err := applySchema(e, gen, opts); err != nil {
 		d.err = err
@@ -317,6 +501,9 @@ func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDel
 	found := 0
 	for i := 0; i < opts.Queries; i++ {
 		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
+			break
+		}
+		if !tk.tick(d.queries) {
 			break
 		}
 		d.queries++
@@ -363,7 +550,7 @@ func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDel
 // runTLPTask runs the standalone TLP oracle loop: partition every random
 // predicate into φ / NOT φ / φ IS NULL and compare the union with the
 // unpartitioned result.
-func runTLPTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelta) {
+func runTLPTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
 	gen := sqlancer.New(seed)
 	if err := applySchema(e, gen, opts); err != nil {
 		d.err = err
@@ -372,6 +559,9 @@ func runTLPTask(e *dbms.Engine, seed int64, opts Options, st *store, d *taskDelt
 	found := 0
 	for i := 0; i < opts.Queries; i++ {
 		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
+			break
+		}
+		if !tk.tick(d.queries) {
 			break
 		}
 		d.queries++

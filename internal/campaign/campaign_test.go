@@ -142,7 +142,7 @@ func TestCampaignPristine(t *testing.T) {
 // finding is pushed from several goroutines at once; the store must end
 // up with exactly the deduplicated set.
 func TestStoreConcurrent(t *testing.T) {
-	st := newStore()
+	st := newStore(nil)
 	plan := func(op string) *core.Plan {
 		return &core.Plan{Root: &core.Node{Op: core.Operation{Name: op, Category: core.Producer}}}
 	}

@@ -1,0 +1,268 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	pstore "uplan/internal/store"
+	"uplan/internal/store/faultio"
+)
+
+// storeOptions is testOptions plus the durable-log knobs the resume tests
+// exercise: a mid-task checkpoint cadence so the periodic path runs too.
+func storeOptions(workers int) Options {
+	opts := testOptions(workers)
+	opts.CheckpointEvery = 10
+	return opts
+}
+
+func mustOpenLog(t *testing.T, dir string) *pstore.Store {
+	t.Helper()
+	s, err := pstore.Open(dir, pstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertSameOutcome compares the determinism-relevant parts of two campaign
+// results: the canonical finding set and every per-task-derived statistic.
+func assertSameOutcome(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Findings, got.Findings) {
+		t.Errorf("%s: finding sets differ:\n want %v\n  got %v", label, want.Findings, got.Findings)
+	}
+	if fmt.Sprintf("%v", want.Findings) != fmt.Sprintf("%v", got.Findings) {
+		t.Errorf("%s: rendered finding sets differ", label)
+	}
+	if want.Stats.DistinctPlans != got.Stats.DistinctPlans {
+		t.Errorf("%s: distinct plans %d, want %d", label, got.Stats.DistinctPlans, want.Stats.DistinctPlans)
+	}
+	if want.Stats.Queries != got.Stats.Queries || want.Stats.Statements != got.Stats.Statements {
+		t.Errorf("%s: totals (%d q, %d stmts), want (%d q, %d stmts)", label,
+			got.Stats.Queries, got.Stats.Statements, want.Stats.Queries, want.Stats.Statements)
+	}
+	for name, w := range want.Stats.Engines {
+		g := got.Stats.Engines[name]
+		if g == nil {
+			t.Errorf("%s: engine %s missing", label, name)
+			continue
+		}
+		if w.Queries != g.Queries || w.Statements != g.Statements ||
+			w.PlanQueries != g.PlanQueries || w.NewPlans != g.NewPlans ||
+			w.DistinctPlans != g.DistinctPlans || w.Mutations != g.Mutations ||
+			w.Checks != g.Checks || w.Skipped != g.Skipped || w.Findings != g.Findings {
+			t.Errorf("%s: %s stats differ:\n want %+v\n  got %+v", label, name, w, g)
+		}
+	}
+}
+
+// TestCampaignStoreFullRun: a store-backed run equals a storeless run, and
+// resuming the finished store skips every task yet reports the identical
+// outcome — the pure replay-from-log path.
+func TestCampaignStoreFullRun(t *testing.T) {
+	baseline, err := Run(testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	log := mustOpenLog(t, dir)
+	opts := storeOptions(4)
+	opts.Store = log
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "store-backed", baseline, res)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: every task Done, nothing re-runs, counters come from the log.
+	log2 := mustOpenLog(t, dir)
+	defer log2.Close()
+	framesBefore := log2.Findings()
+	opts2 := storeOptions(4)
+	opts2.Store = log2
+	opts2.Resume = true
+	var reran atomic.Int32
+	opts2.OnProgress = func(pstore.TaskProgress) { reran.Add(1) }
+	res2, err := Run(opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "replay", baseline, res2)
+	if n := reran.Load(); n != 0 {
+		t.Errorf("replay wrote %d checkpoints; every task should have been skipped", n)
+	}
+	if log2.Findings() != framesBefore {
+		t.Errorf("replay grew the log: %d findings, had %d", log2.Findings(), framesBefore)
+	}
+}
+
+// TestCampaignKillAndResume is the tentpole contract: cancel a store-backed
+// run after N completed tasks, reopen the log, resume — the combined run
+// must produce the byte-identical finding set and statistics of an
+// uninterrupted run, at any worker count and any interruption point.
+func TestCampaignKillAndResume(t *testing.T) {
+	baseline, err := Run(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, after := range []int32{1, 5, 13} {
+			t.Run(fmt.Sprintf("workers=%d/cancel-after=%d", workers, after), func(t *testing.T) {
+				dir := t.TempDir()
+				log := mustOpenLog(t, dir)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				opts := storeOptions(workers)
+				opts.Store = log
+				opts.Context = ctx
+				var dones atomic.Int32
+				opts.OnProgress = func(p pstore.TaskProgress) {
+					if p.Done && dones.Add(1) == after {
+						cancel()
+					}
+				}
+				res, err := Run(opts)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+				}
+				if res == nil {
+					t.Fatal("interrupted run must still return its partial result")
+				}
+				if err := log.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				log2 := mustOpenLog(t, dir)
+				defer log2.Close()
+				rec := log2.Recovered()
+				if len(rec.Progress) == 0 {
+					t.Fatal("no progress records recovered — the resume path is vacuous")
+				}
+				opts2 := storeOptions(workers)
+				opts2.Store = log2
+				opts2.Resume = true
+				res2, err := Run(opts2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameOutcome(t, "resumed", baseline, res2)
+			})
+		}
+	}
+}
+
+// TestCampaignResumeAfterTornWrite: the log's writer dies mid-frame during
+// the run (torn write). The run surfaces the persistence failure but keeps
+// its in-memory result; reopening truncates the torn tail and a resumed run
+// still converges on the uninterrupted outcome — tasks whose Done marker
+// was lost simply re-run.
+func TestCampaignResumeAfterTornWrite(t *testing.T) {
+	baseline, err := Run(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	faults := faultio.NewFaults()
+	faults.FailAt = 900
+	log, err := pstore.Open(dir, pstore.Options{
+		Open: func(path string) (pstore.WriteSyncer, error) {
+			ws, err := pstore.OpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return faultio.Wrap(ws, faults), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := storeOptions(2)
+	opts.Store = log
+	res, err := Run(opts)
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("run over failing media: err = %v, want ErrInjected surfaced", err)
+	}
+	if res == nil {
+		t.Fatal("persistence failure must not destroy the in-memory result")
+	}
+	// The in-memory outcome is complete even though the journal died.
+	assertSameOutcome(t, "in-memory despite fault", baseline, res)
+	log.Close() // reports the sticky failure; the tail state is what matters
+
+	log2 := mustOpenLog(t, dir)
+	defer log2.Close()
+	opts2 := storeOptions(2)
+	opts2.Store = log2
+	opts2.Resume = true
+	res2, err := Run(opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "resumed after torn write", baseline, res2)
+}
+
+// TestCampaignStoreGuards pins the two refusal paths: resuming under
+// different options, and non-resume against a non-empty store.
+func TestCampaignStoreGuards(t *testing.T) {
+	dir := t.TempDir()
+	log := mustOpenLog(t, dir)
+	opts := storeOptions(2)
+	opts.Store = log
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("meta-mismatch", func(t *testing.T) {
+		log2 := mustOpenLog(t, dir)
+		defer log2.Close()
+		opts2 := storeOptions(2)
+		opts2.Store = log2
+		opts2.Resume = true
+		opts2.Seed++ // different campaign
+		if _, err := Run(opts2); err == nil {
+			t.Fatal("resume under a different seed must be refused")
+		}
+	})
+	t.Run("non-resume-non-empty", func(t *testing.T) {
+		log2 := mustOpenLog(t, dir)
+		defer log2.Close()
+		opts2 := storeOptions(2)
+		opts2.Store = log2
+		if _, err := Run(opts2); err == nil {
+			t.Fatal("running without Resume against a non-empty store must be refused")
+		}
+	})
+}
+
+// TestCampaignPreCancelled: a context cancelled before Run starts yields an
+// empty (but well-formed) result and ctx's error — no hangs, no partial
+// task launches.
+func TestCampaignPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := testOptions(4)
+	opts.Context = ctx
+	res, err := Run(opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run must still return a result")
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("pre-cancelled run produced findings: %v", res.Findings)
+	}
+}

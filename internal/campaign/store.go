@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"uplan/internal/core"
+	pstore "uplan/internal/store"
 )
 
 // store is the race-safe cross-engine finding store: every campaign task
@@ -16,14 +17,22 @@ import (
 // structural fingerprints in one shared core.FingerprintSet, giving the
 // fleet-wide "how many distinct plan shapes did the whole campaign see"
 // number no single-engine run can produce.
+//
+// When a durable log backs the store, every newly observed plan key and
+// every newly added finding is journaled through it. The in-memory store
+// stays authoritative for the run's result; the log is a journal whose
+// first persistence failure is captured sticky (logErr) and joined into
+// Run's returned error — never dropped, never fatal to the in-flight run.
 type store struct {
 	mu       sync.Mutex
 	plans    *core.FingerprintSet
 	seen     map[uint64]struct{}
 	findings []Finding
+	log      *pstore.Store
+	logErr   error
 }
 
-func newStore() *store {
+func newStore(log *pstore.Store) *store {
 	return &store{
 		// The same structural options QPG uses for coverage: operations
 		// plus configuration property names, never values, so the same
@@ -32,17 +41,52 @@ func newStore() *store {
 			IncludeConfiguration: true,
 		}),
 		seen: map[uint64]struct{}{},
+		log:  log,
 	}
+}
+
+// seedPlans preloads recovered plan fingerprints. Resume preloads every
+// recovered key — even those written by tasks that did not finish —
+// because the cross-engine set is a union: re-running an unfinished task
+// re-observes the same keys (dedup absorbs them), and the final size
+// equals the uninterrupted run's.
+func (s *store) seedPlans(keys [][32]byte) {
+	for _, fp := range keys {
+		s.plans.ObserveKey(fp)
+	}
+}
+
+// seedFinding preloads one recovered finding without re-journaling it.
+// Resume calls this only for findings of tasks whose Done checkpoint was
+// recovered: an unfinished task re-runs from a clean per-task dedup space
+// (its keys embed the task identity, so no other task is affected), which
+// is what keeps MaxFindings counting — and therefore the finding set —
+// byte-identical to an uninterrupted run.
+func (s *store) seedFinding(f Finding) {
+	key := f.fingerprint()
+	if _, dup := s.seen[key]; dup {
+		return
+	}
+	s.seen[key] = struct{}{}
+	s.findings = append(s.findings, f)
 }
 
 // observePlan records the plan's structural fingerprint in the
 // cross-engine set and reports whether it was globally new. Safe for
 // concurrent use. The plan may be arena-backed and about to be reset —
-// only its fingerprint (a fixed-size key) is retained.
+// only its fingerprint (a fixed-size key) is retained, and only the key
+// is journaled.
 func (s *store) observePlan(p *core.Plan) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.plans.Observe(p)
+	fp := s.plans.Key(p)
+	fresh := s.plans.ObserveKey(fp)
+	if s.log != nil && fresh {
+		if _, err := s.log.AppendPlan(fp); err != nil && s.logErr == nil {
+			s.logErr = err
+		}
+	}
+	return fresh
 }
 
 // distinctPlans is the size of the cross-engine plan set.
@@ -67,7 +111,46 @@ func (s *store) add(f Finding) bool {
 	}
 	s.seen[key] = struct{}{}
 	s.findings = append(s.findings, f)
+	if s.log != nil {
+		// The log's own index dedups too (a resumed task re-producing a
+		// finding it journaled before the crash appends no second frame).
+		if _, err := s.log.AppendFinding(pstore.Finding{
+			Engine: f.Engine,
+			Oracle: string(f.Oracle),
+			Kind:   string(f.Kind),
+			Query:  f.Query,
+			Detail: f.Detail,
+		}); err != nil && s.logErr == nil {
+			s.logErr = err
+		}
+	}
 	return true
+}
+
+// checkpoint writes a durable progress record through the log, capturing
+// the first failure sticky. Reports whether the checkpoint was durably
+// written.
+func (s *store) checkpoint(p pstore.TaskProgress) bool {
+	if s.log == nil {
+		return false
+	}
+	err := s.log.Checkpoint(p)
+	if err != nil {
+		s.mu.Lock()
+		if s.logErr == nil {
+			s.logErr = err
+		}
+		s.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// persistErr returns the sticky first persistence failure, if any.
+func (s *store) persistErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logErr
 }
 
 // sorted snapshots the findings in canonical order (engine, oracle, kind,

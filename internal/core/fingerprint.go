@@ -384,10 +384,21 @@ func NewFingerprintSet(opts FingerprintOptions) *FingerprintSet {
 // The hit path — a fingerprint already in the set — is allocation-free.
 //uplan:hotpath
 func (s *FingerprintSet) Observe(p *Plan) bool {
-	fp := p.FingerprintBytes(s.opts)
+	return s.ObserveKey(p.FingerprintBytes(s.opts))
+}
+
+// ObserveKey records a raw fingerprint key and reports whether it was
+// new. It is the recovery/seeding entry point: a persistent plan store
+// replays logged keys through it without re-walking (or even having) the
+// plans they came from.
+func (s *FingerprintSet) ObserveKey(fp [32]byte) bool {
 	s.seen[fp]++
 	return s.seen[fp] == 1
 }
+
+// Key returns the fingerprint key Observe would record for the plan —
+// the [32]byte digest under the set's options.
+func (s *FingerprintSet) Key(p *Plan) [32]byte { return p.FingerprintBytes(s.opts) }
 
 // Size returns the number of distinct fingerprints observed.
 func (s *FingerprintSet) Size() int { return len(s.seen) }

@@ -29,6 +29,16 @@ var OracleErrDeny = []string{
 	"uplan/internal/convert.Converter.Convert",
 	"uplan/internal/convert.ArenaConverter.ConvertIn",
 	"uplan/internal/convert.ConvertInto",
+	// Store durability surface: a dropped error here silently un-journals
+	// a finding — the crash that follows loses data the caller believed
+	// durable. The campaign captures these sticky and joins them into
+	// Run's error; ad-hoc callers must do no less.
+	"uplan/internal/store.Store.AppendPlan",
+	"uplan/internal/store.Store.AppendFinding",
+	"uplan/internal/store.Store.AppendMeta",
+	"uplan/internal/store.Store.Checkpoint",
+	"uplan/internal/store.Store.Sync",
+	"uplan/internal/store.Store.Close",
 }
 
 // OracleErrWorkerAPIs lists worker-pool entry points: inside function
@@ -37,6 +47,7 @@ var OracleErrDeny = []string{
 // the error to — signal dropped there is dropped for good.
 var OracleErrWorkerAPIs = []string{
 	"uplan/internal/pipeline.ForEachChunked",
+	"uplan/internal/pipeline.ForEachChunkedCtx",
 }
 
 // oracleErrSentinels maps known error-message fragments to the errors.Is

@@ -9,6 +9,7 @@ import (
 
 	"uplan/internal/dbms"
 	"uplan/internal/pipeline"
+	"uplan/internal/store"
 )
 
 // dropAnalyze is the post-mutation ANALYZE drop: a failed statistics
@@ -64,4 +65,12 @@ func prefixFilter(err error) bool {
 // compareText string-compares the rendered error.
 func compareText(err error) bool {
 	return err.Error() == "ghost table" // want `comparing err\.Error\(\) text`
+}
+
+// dropDurability discards the store's durability errors: the finding
+// looks journaled but may not survive the next crash.
+func dropDurability(s *store.Store, f store.Finding) {
+	_, _ = s.AppendFinding(f) // want `error result of store\.Store\.AppendFinding assigned to _`
+	_ = s.Checkpoint(store.TaskProgress{Engine: "postgresql", Oracle: "qpg", Done: true}) // want `error result of store\.Store\.Checkpoint assigned to _`
+	s.Close() // want `error result of store\.Store\.Close discarded \(bare call\)`
 }

@@ -6,6 +6,7 @@ import (
 
 	"uplan/internal/dbms"
 	"uplan/internal/pipeline"
+	"uplan/internal/store"
 )
 
 // This file is the false-positive corpus: handled errors, sentinel
@@ -50,4 +51,15 @@ func campaignWorkersRecord(e *dbms.Engine, qs []string, errs []error) {
 			}
 		},
 		func(s int) {})
+}
+
+// journalHandled captures the store's durability errors sticky, the way
+// the campaign store does.
+func journalHandled(s *store.Store, f store.Finding, sticky *error) {
+	if _, err := s.AppendFinding(f); err != nil && *sticky == nil {
+		*sticky = err
+	}
+	if err := s.Close(); err != nil && *sticky == nil {
+		*sticky = err
+	}
 }

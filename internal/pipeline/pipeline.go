@@ -34,6 +34,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -108,6 +109,11 @@ type Options struct {
 	// Registry backs the workers' converters. Nil uses the process-wide
 	// shared default registry (convert.SharedRegistry).
 	Registry *core.Registry
+	// Context, when non-nil, cancels a ConvertBatch run between chunks:
+	// records not yet claimed when the context is done are skipped, and
+	// their Results carry the context's error instead of a Plan. The
+	// streaming Pipeline ignores it (close the input side instead).
+	Context context.Context
 }
 
 // withDefaults resolves zero values to the documented defaults;
@@ -443,10 +449,14 @@ func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
 	reg := opts.registry()
 
 	// The claim-a-chunk/private-worker-state/merge-once-at-drain machinery
-	// lives in ForEachChunked (clamping workers to GOMAXPROCS and to the
-	// chunk count, running single-worker pools inline); ConvertBatch
+	// lives in ForEachChunkedCtx (clamping workers to GOMAXPROCS and to
+	// the chunk count, running single-worker pools inline); ConvertBatch
 	// supplies the conversion worker and its stat merge.
-	ForEachChunked(len(records), opts.Workers, opts.ChunkSize,
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ForEachChunkedCtx(ctx, len(records), opts.Workers, opts.ChunkSize,
 		func() *worker { return newWorker(reg, opts.ReuseArenas) },
 		func(w *worker, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -458,6 +468,16 @@ func ConvertBatch(records []Record, opts Options) ([]Result, Stats) {
 				stats.merge(key, ld.drain())
 			}
 		})
+	if err := ctx.Err(); err != nil {
+		// Chunks unclaimed at cancellation were never converted; their
+		// slots still hold the zero Result. Mark them so the "exactly one
+		// of Plan and Err" contract holds for every returned slot.
+		for i := range out {
+			if out[i].Plan == nil && out[i].Err == nil {
+				out[i] = Result{Seq: i, Record: records[i], Err: err}
+			}
+		}
+	}
 	stats.Elapsed = time.Since(start)
 	return out, stats
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,19 @@ import (
 // inline on the calling goroutine. ForEachChunked returns once every index
 // has been processed and every drain has completed.
 func ForEachChunked[S any](n, workers, chunk int, newState func() S, body func(s S, lo, hi int), drain func(s S)) {
+	ForEachChunkedCtx(context.Background(), n, workers, chunk, newState, body, drain)
+}
+
+// ForEachChunkedCtx is ForEachChunked with cooperative cancellation: once
+// ctx is done, workers stop claiming new chunks. The chunk a worker is
+// mid-way through still completes (the pool cannot preempt a body; bodies
+// that run long should watch ctx themselves), every started worker still
+// drains, and the call returns only when all workers have exited — so
+// aggregates stay consistent even on a cancelled run. Indexes not yet
+// claimed at cancellation are simply never processed; the caller decides
+// what an unprocessed index means (the campaign orchestrator checkpoints
+// them as unfinished, ConvertBatch marks them with ctx's error).
+func ForEachChunkedCtx[S any](ctx context.Context, n, workers, chunk int, newState func() S, body func(s S, lo, hi int), drain func(s S)) {
 	if n <= 0 {
 		return
 	}
@@ -40,7 +54,15 @@ func ForEachChunked[S any](n, workers, chunk int, newState func() S, body func(s
 	}
 	if workers <= 1 {
 		s := newState()
-		body(s, 0, n)
+		// Chunk-at-a-time even inline, so cancellation has the same
+		// granularity a pooled run gets.
+		for lo := 0; lo < n && ctx.Err() == nil; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(s, lo, hi)
+		}
 		drain(s)
 		return
 	}
@@ -54,7 +76,7 @@ func ForEachChunked[S any](n, workers, chunk int, newState func() S, body func(s
 		go func() {
 			defer wg.Done()
 			s := newState()
-			for {
+			for ctx.Err() == nil {
 				hi := int(cursor.Add(int64(chunk)))
 				lo := hi - chunk
 				if lo >= n {

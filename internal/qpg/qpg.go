@@ -85,6 +85,11 @@ type Campaign struct {
 	// reused arena are only valid for the duration of the call — an
 	// observer that needs to keep one must Clone it.
 	Observer func(*core.Plan)
+	// Tick, when set, is consulted before each query with the number of
+	// queries run so far; returning false stops the campaign early. The
+	// orchestrator uses it for cooperative cancellation, so a long task
+	// yields mid-run instead of only between tasks.
+	Tick func(queriesRun int) bool
 
 	converter convert.Converter
 	// aconv and arena implement the allocation-lean observation loop: when
@@ -161,6 +166,9 @@ func (c *Campaign) Run(opts Options) []Finding {
 	stall := 0
 	for i := 0; i < opts.Queries; i++ {
 		if opts.MaxFindings > 0 && len(c.Findings) >= opts.MaxFindings {
+			break
+		}
+		if c.Tick != nil && !c.Tick(c.QueriesRun) {
 			break
 		}
 		query := c.Gen.Query()

@@ -1,0 +1,141 @@
+// Package faultio is the store's fault-injection harness: a WriteSyncer
+// wrapper that fails, shortens, or corrupts writes at a chosen byte
+// offset, plus an on-disk bit-flip helper. The robustness suite uses it
+// to prove the store's crash contracts — torn tails truncate on reopen,
+// write errors surface and stick, bit rot is rejected by CRC — instead
+// of assuming them.
+//
+// The wrapper is deliberately interface-structural (it defines its own
+// WriteSyncer identical to store.WriteSyncer) so it depends on nothing
+// and can wrap any append sink.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrInjected is the error every injected write/sync failure returns
+// (wrapped), so tests can errors.Is for it.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// WriteSyncer mirrors store.WriteSyncer structurally.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Faults configures the injected behaviour. The zero value injects
+// nothing. Offsets are in bytes of the wrapped writer's output stream,
+// counted from the first wrapped Write.
+type Faults struct {
+	// FailAt, when >= 0, makes the Write covering that offset fail: bytes
+	// before the offset are written (a torn frame), the rest are dropped,
+	// and the call returns ErrInjected. Use -1 to disable.
+	FailAt int64
+	// ShortAt, when >= 0, makes the Write covering that offset silently
+	// short: bytes before the offset are written and the call returns
+	// (n < len(p), nil) — an io.Writer contract violation real broken
+	// writers commit, which the store must defend against.
+	ShortAt int64
+	// FlipBit, when >= 0, flips bit (FlipBit % 8) of the output byte at
+	// offset FlipBit/8 as it passes through — silent in-flight
+	// corruption the CRC must catch on recovery.
+	FlipBit int64
+	// SyncErr, when non-nil, is returned by every Sync call.
+	SyncErr error
+}
+
+// NewFaults returns a Faults with every injection disabled; set the
+// fields you need.
+func NewFaults() *Faults {
+	return &Faults{FailAt: -1, ShortAt: -1, FlipBit: -1}
+}
+
+// Writer wraps an inner WriteSyncer with injected faults. Not safe for
+// concurrent use (the store serializes appends already).
+type Writer struct {
+	inner WriteSyncer
+	f     *Faults
+	off   int64
+}
+
+// Wrap returns a faulty writer over inner, driven by f. Several writers
+// may share one Faults value only if they never write concurrently.
+func Wrap(inner WriteSyncer, f *Faults) *Writer {
+	return &Writer{inner: inner, f: f}
+}
+
+// Write applies the configured faults to one write.
+func (w *Writer) Write(p []byte) (int, error) {
+	end := w.off + int64(len(p))
+
+	// Bit flip: corrupt in a copy, then carry on as if nothing happened.
+	if w.f.FlipBit >= 0 {
+		if byteOff := w.f.FlipBit / 8; byteOff >= w.off && byteOff < end {
+			c := append([]byte(nil), p...)
+			c[byteOff-w.off] ^= 1 << (w.f.FlipBit % 8)
+			p = c
+		}
+	}
+
+	// Torn write: persist the prefix, error out.
+	if w.f.FailAt >= 0 && w.f.FailAt < end {
+		keep := int(w.f.FailAt - w.off)
+		if keep < 0 {
+			keep = 0
+		}
+		n, err := w.inner.Write(p[:keep])
+		w.off += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+
+	// Contract-violating short write: persist the prefix, report success.
+	if w.f.ShortAt >= 0 && w.f.ShortAt < end {
+		keep := int(w.f.ShortAt - w.off)
+		if keep < 0 {
+			keep = 0
+		}
+		w.f.ShortAt = -1 // one-shot, or the retry-free caller loops forever
+		n, err := w.inner.Write(p[:keep])
+		w.off += int64(n)
+		return n, err
+	}
+
+	n, err := w.inner.Write(p)
+	w.off += int64(n)
+	return n, err
+}
+
+// Sync returns the injected sync error, or defers to the inner sink.
+func (w *Writer) Sync() error {
+	if w.f.SyncErr != nil {
+		return w.f.SyncErr
+	}
+	return w.inner.Sync()
+}
+
+// Close closes the inner sink (faults do not apply).
+func (w *Writer) Close() error { return w.inner.Close() }
+
+// FlipBitOnDisk flips one bit of the file at path: bit (bit % 8) of byte
+// bit/8. It is the at-rest corruption injector for recovery tests.
+func FlipBitOnDisk(path string, bit int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], bit/8); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], bit/8)
+	return err
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedLog builds a small valid multi-record log for the seed corpus.
+func fuzzSeedLog() []byte {
+	var b []byte
+	b = appendFrame(b, recMeta, []byte("seed config"))
+	fp := testFuzzKey(1)
+	b = appendFrame(b, recPlan, fp[:])
+	b = appendFrame(b, recFinding, appendFindingPayload(nil, Finding{
+		Engine: "postgresql", Oracle: "qpg", Kind: "logic",
+		Query: "SELECT 1", Detail: "differs from reference",
+	}))
+	b = appendFrame(b, recProgress, appendProgressPayload(nil, TaskProgress{
+		Engine: "postgresql", Oracle: "qpg", Done: true, Queries: 100,
+	}))
+	b = appendFrame(b, 0x66, []byte("unknown type"))
+	return b
+}
+
+func testFuzzKey(i int) [32]byte {
+	var fp [32]byte
+	for j := range fp {
+		fp[j] = byte(i * (j + 1))
+	}
+	return fp
+}
+
+// FuzzRecordFrame feeds arbitrary bytes to the recovery scanner — the
+// exact code path Open trusts after a crash. Invariants: no panic, the
+// valid prefix never exceeds the input, frames decode only from intact
+// bytes, and scanning is idempotent (re-scanning the valid prefix
+// recovers the same records and consumes every byte of it).
+func FuzzRecordFrame(f *testing.F) {
+	seed := fuzzSeedLog()
+	f.Add(seed)
+	// Truncations at interesting offsets.
+	for _, cut := range []int{0, 1, 2, 3, 7, len(seed) / 2, len(seed) - 1} {
+		if cut >= 0 && cut <= len(seed) {
+			f.Add(seed[:cut])
+		}
+	}
+	// Bit flips in the header, payload, and CRC regions.
+	for _, bit := range []int{0, 9, 20, 100, len(seed)*8 - 1} {
+		c := append([]byte(nil), seed...)
+		c[bit/8] ^= 1 << (bit % 8)
+		f.Add(c)
+	}
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{frameMagic, recPlan, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	type rec struct {
+		typ     byte
+		payload []byte
+	}
+	scan := func(data []byte) ([]rec, int, error) {
+		var recs []rec
+		valid, err := scanFrames(data, func(typ byte, payload []byte) error {
+			// Decode exactly like recovery does; a decode error from a
+			// CRC-valid frame surfaces (Open would fail loudly).
+			switch typ {
+			case recFinding:
+				if _, err := decodeFindingPayload(payload); err != nil {
+					return err
+				}
+			case recProgress:
+				if _, err := decodeProgressPayload(payload); err != nil {
+					return err
+				}
+			case recPlan:
+				if len(payload) != 32 {
+					return errBadPayload
+				}
+			}
+			recs = append(recs, rec{typ, append([]byte(nil), payload...)})
+			return nil
+		})
+		return recs, valid, err
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := scan(data)
+		if valid > len(data) {
+			t.Fatalf("valid prefix %d exceeds input %d", valid, len(data))
+		}
+		if err != nil {
+			// A CRC-valid frame with an undecodable payload: recovery
+			// refuses it. Nothing more to check.
+			return
+		}
+		// Idempotence: the valid prefix is a fully valid log.
+		recs2, valid2, err2 := scan(data[:valid])
+		if err2 != nil || valid2 != valid {
+			t.Fatalf("re-scan of valid prefix: valid %d->%d err=%v", valid, valid2, err2)
+		}
+		if len(recs) != len(recs2) {
+			t.Fatalf("re-scan recovered %d records, first pass %d", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if recs[i].typ != recs2[i].typ || !bytes.Equal(recs[i].payload, recs2[i].payload) {
+				t.Fatalf("record %d differs across scans", i)
+			}
+		}
+		// Round-trip: re-encoding the recovered records reproduces the
+		// valid prefix byte for byte.
+		var re []byte
+		for _, r := range recs {
+			re = appendFrame(re, r.typ, r.payload)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("re-encoded log differs from valid prefix")
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+)
+
+// Finding is one persisted campaign discovery. The store keeps its own
+// flat string form of the campaign's finding type so the dependency
+// points the right way: campaign imports store, never the reverse.
+type Finding struct {
+	Engine string
+	Oracle string
+	Kind   string
+	Query  string
+	Detail string
+}
+
+// key hashes the finding's full identity for the store's dedup index.
+func (f Finding) key() uint64 {
+	h := fnv.New64a()
+	for _, part := range [...]string{f.Engine, f.Oracle, f.Kind, f.Query, f.Detail} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// TaskKey identifies one campaign (engine, oracle) task.
+type TaskKey struct {
+	Engine string
+	Oracle string
+}
+
+// TaskProgress is one checkpoint record: a task's identity, whether it
+// has run to completion, and its counter snapshot. For a Done task the
+// counters are the task's final statistics, which is what lets a resumed
+// campaign report the exact stats of an uninterrupted run without
+// re-running the task.
+type TaskProgress struct {
+	Engine string
+	Oracle string
+	Done   bool
+	// Counter snapshot, mirroring campaign.EngineStats' per-task share.
+	Queries       int
+	Statements    int
+	PlanQueries   int
+	NewPlans      int
+	DistinctPlans int
+	Mutations     int
+	Checks        int
+	Skipped       int
+}
+
+// Key returns the progress record's task identity.
+func (p TaskProgress) Key() TaskKey { return TaskKey{Engine: p.Engine, Oracle: p.Oracle} }
+
+var errBadPayload = errors.New("store: malformed record payload")
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readString consumes a uvarint-length-prefixed string.
+func readString(b []byte) (string, []byte, error) {
+	n, vn := binary.Uvarint(b)
+	if vn <= 0 || n > uint64(len(b)-vn) {
+		return "", nil, errBadPayload
+	}
+	return string(b[vn : vn+int(n)]), b[vn+int(n):], nil
+}
+
+// readUvarint consumes one uvarint counter.
+func readUvarint(b []byte) (int, []byte, error) {
+	n, vn := binary.Uvarint(b)
+	if vn <= 0 || n > 1<<62 {
+		return 0, nil, errBadPayload
+	}
+	return int(n), b[vn:], nil
+}
+
+// appendFindingPayload encodes a finding as five length-prefixed strings.
+func appendFindingPayload(dst []byte, f Finding) []byte {
+	dst = appendString(dst, f.Engine)
+	dst = appendString(dst, f.Oracle)
+	dst = appendString(dst, f.Kind)
+	dst = appendString(dst, f.Query)
+	return appendString(dst, f.Detail)
+}
+
+// decodeFindingPayload is appendFindingPayload's inverse. Trailing bytes
+// are an encoding-layer fault and rejected.
+func decodeFindingPayload(b []byte) (Finding, error) {
+	var f Finding
+	var err error
+	for _, dst := range [...]*string{&f.Engine, &f.Oracle, &f.Kind, &f.Query, &f.Detail} {
+		if *dst, b, err = readString(b); err != nil {
+			return Finding{}, err
+		}
+	}
+	if len(b) != 0 {
+		return Finding{}, errBadPayload
+	}
+	return f, nil
+}
+
+// appendProgressPayload encodes a checkpoint record: identity, done
+// flag, then the eight counters as uvarints.
+func appendProgressPayload(dst []byte, p TaskProgress) []byte {
+	dst = appendString(dst, p.Engine)
+	dst = appendString(dst, p.Oracle)
+	if p.Done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	for _, n := range [...]int{
+		p.Queries, p.Statements, p.PlanQueries, p.NewPlans,
+		p.DistinctPlans, p.Mutations, p.Checks, p.Skipped,
+	} {
+		if n < 0 {
+			n = 0
+		}
+		dst = binary.AppendUvarint(dst, uint64(n))
+	}
+	return dst
+}
+
+// decodeProgressPayload is appendProgressPayload's inverse.
+func decodeProgressPayload(b []byte) (TaskProgress, error) {
+	var p TaskProgress
+	var err error
+	if p.Engine, b, err = readString(b); err != nil {
+		return TaskProgress{}, err
+	}
+	if p.Oracle, b, err = readString(b); err != nil {
+		return TaskProgress{}, err
+	}
+	if len(b) == 0 || b[0] > 1 {
+		return TaskProgress{}, errBadPayload
+	}
+	p.Done = b[0] == 1
+	b = b[1:]
+	for _, dst := range [...]*int{
+		&p.Queries, &p.Statements, &p.PlanQueries, &p.NewPlans,
+		&p.DistinctPlans, &p.Mutations, &p.Checks, &p.Skipped,
+	} {
+		if *dst, b, err = readUvarint(b); err != nil {
+			return TaskProgress{}, err
+		}
+	}
+	if len(b) != 0 {
+		return TaskProgress{}, errBadPayload
+	}
+	return p, nil
+}

@@ -22,6 +22,7 @@ import (
 	"uplan/internal/core"
 	"uplan/internal/dbms"
 	"uplan/internal/pipeline"
+	"uplan/internal/store"
 )
 
 // Core representation types, re-exported.
@@ -199,6 +200,38 @@ type (
 	// packages.
 	CampaignEngine = dbms.Engine
 )
+
+// Durable persistence types, re-exported from the store subsystem.
+type (
+	// PlanStore is the append-only, CRC-framed plan-and-finding log with
+	// WAL-style recovery. Attach one to CampaignOptions.Store to journal a
+	// campaign; reopen after a crash and set CampaignOptions.Resume to
+	// continue it with a byte-identical outcome.
+	PlanStore = store.Store
+	// PlanStoreOptions tunes OpenStore (shard count, file opener).
+	PlanStoreOptions = store.Options
+	// PlanStoreRecovered is the state OpenStore rebuilt from the log:
+	// plans, findings, per-task checkpoints, and what a torn tail cost.
+	PlanStoreRecovered = store.Recovered
+	// CampaignProgress is one durable per-task checkpoint record, as seen
+	// by CampaignOptions.OnProgress.
+	CampaignProgress = store.TaskProgress
+)
+
+// OpenStore opens (creating if needed) a durable plan-and-finding log
+// directory, replaying and checksum-verifying every shard and truncating
+// any torn tail left by a crash.
+//
+//	log, err := uplan.OpenStore(dir, uplan.PlanStoreOptions{})
+//	if err != nil { ... }
+//	defer log.Close()
+//	opts := uplan.DefaultCampaignOptions()
+//	opts.Store = log
+//	opts.Resume = !log.Recovered().Empty()
+//	res, err := uplan.RunCampaigns(opts)
+func OpenStore(dir string, opts PlanStoreOptions) (*PlanStore, error) {
+	return store.Open(dir, opts)
+}
 
 // DefaultCampaignOptions returns the campaign budget the smoke runs use.
 func DefaultCampaignOptions() CampaignOptions { return campaign.DefaultOptions() }
