@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign|serve]
 //	            [-parallel N] [-reuse-arenas] [-iters N] [-queries N] [-out FILE]
 //	            [-store DIR] [-resume] [-checkpoint-every N]
 //	            [-cpuprofile FILE] [-memprofile FILE]
@@ -34,10 +34,21 @@
 // log (internal/store): every plan fingerprint, finding, and per-task
 // checkpoint survives a crash at any byte. SIGINT/SIGTERM cancel the run
 // cooperatively — workers stop at the next query boundary, the final
-// state is flushed, partial stats print, and the process exits 0.
+// state is flushed, partial stats print, and the process exits 0. A
+// second SIGINT/SIGTERM during that graceful checkpoint forces an
+// immediate exit with status 3 (internal/shutdown), so a checkpoint hung
+// on sick storage can always be abandoned deliberately.
 // -resume continues an interrupted campaign from DIR: finished tasks are
 // skipped, the rest re-run, and the combined outcome is byte-identical
 // to an uninterrupted run. -checkpoint-every N bounds mid-task loss.
+//
+// -experiment serve load-tests the plan service end to end: it boots an
+// in-process internal/serve server on a loopback :0 listener, fans
+// -parallel serveclient clients out over -iters convert requests drawn
+// from the mixed corpus (plus one full-corpus batch-convert), and
+// reports client-observed requests/sec, cache hit rate, and shed
+// counts. -out writes the run as JSON (see BENCH_batch.json's
+// uplan_serve snapshots).
 //
 // -cpuprofile / -memprofile write pprof profiles covering whichever
 // experiments ran, so hot-path regressions can be diagnosed with
@@ -51,10 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"syscall"
 	"time"
 
 	"uplan/internal/bench"
@@ -62,6 +71,7 @@ import (
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/pipeline"
+	"uplan/internal/shutdown"
 	"uplan/internal/store"
 )
 
@@ -94,7 +104,7 @@ type pathRun struct {
 
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
-	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text, campaign")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text, campaign, serve")
 	parallel := flag.Int("parallel", 0, "batch: pipeline worker count (0 = sequential only); campaign: task pool bound (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "batch experiment: records per pipeline dispatch chunk (0 = default)")
 	reuseArenas := flag.Bool("reuse-arenas", false, "batch experiment: per-worker reusable arenas (owned-batch mode)")
@@ -143,8 +153,8 @@ func main() {
 		flushProfiles()
 		os.Exit(1)
 	}
-	if *out != "" && !run("batch") {
-		fail(fmt.Errorf("-out only applies to the batch experiment (got -experiment %s)", *experiment))
+	if *out != "" && !run("batch") && *experiment != "serve" {
+		fail(fmt.Errorf("-out only applies to the batch and serve experiments (got -experiment %s)", *experiment))
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -194,9 +204,12 @@ func main() {
 		// A signal cancels the run cooperatively: workers stop at the next
 		// query boundary, everything journaled so far is synced, and the
 		// partial stats below still print — the run is interrupted, not
-		// lost, and -resume picks it up where it stopped.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
+		// lost, and -resume picks it up where it stopped. A second signal
+		// during that graceful checkpoint (store sync/close hung on sick
+		// storage, say) forces an immediate exit with a distinct status.
+		ctx, notifier := shutdown.Install(context.Background(),
+			func(msg string) { fmt.Fprintln(os.Stderr, "uplan-bench:", msg) })
+		defer notifier.Stop()
 		copts.Context = ctx
 		res, err := campaign.Run(copts)
 		interrupted := errors.Is(err, context.Canceled)
@@ -213,6 +226,17 @@ func main() {
 		fmt.Printf("findings (%d, deduplicated, canonical order):\n", len(res.Findings))
 		for _, f := range res.Findings {
 			fmt.Println("  " + f.String())
+		}
+	}
+	// The serve experiment is explicit-only too: it boots a live HTTP
+	// service and load-tests it through serveclient — a workload of its
+	// own, not one of the paper's artifacts.
+	if *experiment == "serve" {
+		if *iters <= 0 {
+			fail(fmt.Errorf("-iters must be positive (got %d)", *iters))
+		}
+		if err := runServeExperiment(*seed, *parallel, *iters, *reuseArenas, *out); err != nil {
+			fail(err)
 		}
 	}
 	// The text experiment is explicit-only: it is a microbenchmark loop,

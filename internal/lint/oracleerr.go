@@ -39,6 +39,14 @@ var OracleErrDeny = []string{
 	"uplan/internal/store.Store.Checkpoint",
 	"uplan/internal/store.Store.Sync",
 	"uplan/internal/store.Store.Close",
+	// Service response-writing and shutdown surface: a dropped write error
+	// means a client silently got half a response (the serve metrics count
+	// these instead of ignoring them), and a dropped Shutdown/Close error
+	// turns an abandoned drain into a fake-clean exit.
+	"net/http.ResponseWriter.Write",
+	"net/http.Server.Shutdown",
+	"net/http.Server.Close",
+	"net.Listener.Close",
 }
 
 // OracleErrWorkerAPIs lists worker-pool entry points: inside function

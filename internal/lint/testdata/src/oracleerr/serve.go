@@ -1,0 +1,64 @@
+// The serve-surface cases: response-writing and shutdown APIs whose
+// dropped errors fake out clients (half a response looks delivered) or
+// supervisors (an abandoned drain looks clean). The handled variants at
+// the bottom are the false-positive corpus for the same calls.
+
+package oracleerr
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// bareResponseWrite loses the only evidence the client never got the
+// body.
+func bareResponseWrite(w http.ResponseWriter, body []byte) {
+	w.Write(body) // want `error result of http\.ResponseWriter\.Write discarded \(bare call\)`
+}
+
+// blankResponseWrite drops the same signal through the blank
+// identifier, keeping only the byte count.
+func blankResponseWrite(w http.ResponseWriter, body []byte) int {
+	n, _ := w.Write(body) // want `error result of http\.ResponseWriter\.Write assigned to _`
+	return n
+}
+
+// fakeCleanDrain reports a clean shutdown whatever actually happened.
+func fakeCleanDrain(ctx context.Context, s *http.Server) {
+	s.Shutdown(ctx) // want `error result of http\.Server\.Shutdown discarded \(bare call\)`
+	_ = s.Close()   // want `error result of http\.Server\.Close assigned to _`
+}
+
+// leakListener drops the close error that distinguishes a released port
+// from a leaked one.
+func leakListener(l net.Listener) {
+	l.Close() // want `error result of net\.Listener\.Close discarded \(bare call\)`
+}
+
+// countedResponseWrite is the handled shape serve's writeBody uses: the
+// write error is observed (counted), not dropped.
+func countedResponseWrite(w http.ResponseWriter, body []byte, writeErrors *int) {
+	if _, err := w.Write(body); err != nil {
+		*writeErrors++
+	}
+}
+
+// collectedDrain joins every shutdown error for the caller — nothing to
+// flag.
+func collectedDrain(ctx context.Context, s *http.Server, l net.Listener) error {
+	if err := s.Shutdown(ctx); err != nil {
+		if cerr := s.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return l.Close()
+}
+
+// connCloseIsNotListenerClose: net.Conn.Close is deliberately off the
+// deny-list (per-connection hygiene, not drain truthfulness), so this
+// discard is clean.
+func connCloseIsNotListenerClose(c net.Conn) {
+	c.Close()
+}

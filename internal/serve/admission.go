@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// admission is the server's bounded admission queue. Work capacity is a
+// fixed pool of in-flight slots; requests that find no free slot wait in
+// a bounded queue, and requests that find the queue full are shed
+// immediately with 429 — the server never accumulates unbounded
+// goroutines behind a slow pool.
+//
+// Load shedding is class-aware: batch requests (large, elastic, retryable
+// by construction) are refused once the queue is half full, so under
+// overload the cheap interactive converts keep flowing while the bulk
+// traffic backs off first. Single requests shed only when the queue is
+// completely full.
+type admission struct {
+	// slots is the in-flight semaphore: one token per admitted request.
+	slots chan struct{}
+	// queued counts requests currently waiting for a slot.
+	queued atomic.Int64
+	// maxQueue is the single-request queue bound; batchQueue (maxQueue/2)
+	// is the earlier bound batch requests shed at.
+	maxQueue   int64
+	batchQueue int64
+}
+
+// errShed is returned when a request is refused at admission; RetryAfter
+// is the backpressure hint in seconds.
+type errShed struct {
+	retryAfter int
+	batch      bool
+}
+
+func (e errShed) Error() string {
+	class := "request"
+	if e.batch {
+		class = "batch request"
+	}
+	return fmt.Sprintf("%s shed: admission queue full, retry after %ds", class, e.retryAfter)
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	a := &admission{
+		slots:      make(chan struct{}, maxInFlight),
+		maxQueue:   int64(maxQueue),
+		batchQueue: int64(maxQueue) / 2,
+	}
+	for i := 0; i < maxInFlight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire admits one request, blocking in the bounded queue until a slot
+// frees or ctx is done. It returns a release function on success, errShed
+// when the request's class is over its queue bound, and ctx.Err() when
+// the caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context, batch bool) (func(), error) {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case <-a.slots:
+		return a.releaser(), nil
+	default:
+	}
+
+	limit := a.maxQueue
+	if batch {
+		limit = a.batchQueue
+	}
+	if q := a.queued.Add(1); q > limit {
+		a.queued.Add(-1)
+		return nil, errShed{retryAfter: a.retryAfter(), batch: batch}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case <-a.slots:
+		return a.releaser(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// releaser returns the slot-return closure; idempotent so a handler may
+// release early and defer the same function safely.
+func (a *admission) releaser() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			a.slots <- struct{}{}
+		}
+	}
+}
+
+// retryAfter estimates how long a shed client should back off: one second
+// per full queue's worth of waiters ahead of it, floored at one. Coarse
+// on purpose — the hint only needs to spread the retry storm out.
+func (a *admission) retryAfter() int {
+	q := a.queued.Load()
+	if a.maxQueue <= 0 || q <= a.maxQueue {
+		return 1
+	}
+	return int(1 + q/a.maxQueue)
+}
+
+// inFlight is how many admitted requests currently hold a slot.
+func (a *admission) inFlight() int { return cap(a.slots) - len(a.slots) }
+
+// queueDepth is how many requests are currently waiting.
+func (a *admission) queueDepth() int { return int(a.queued.Load()) }
+
+// asShed extracts an errShed from an admission error.
+func asShed(err error) (errShed, bool) {
+	var s errShed
+	ok := errors.As(err, &s)
+	return s, ok
+}

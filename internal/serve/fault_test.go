@@ -1,0 +1,410 @@
+package serve
+
+// The fault suite: overload storms, slow-loris connections, mid-request
+// kills, drains with work in flight, and sick-storage syncs. The
+// invariants under every fault: requests always terminate (no deadlock),
+// goroutines always settle (no leak), and the health probes keep telling
+// the truth.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uplan/internal/store"
+	"uplan/internal/store/faultio"
+)
+
+// stormOptions shape a server for deterministic overload: one slot, a
+// two-deep queue, no cache (every request must contend), and a handler
+// delay long enough that the storm piles up behind the first request.
+func stormOptions() Options {
+	return Options{
+		MaxInFlight:    1,
+		MaxQueue:       2,
+		CacheSize:      -1,
+		HandlerDelay:   100 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+	}
+}
+
+func TestServeFaultQueueFullStormConvert(t *testing.T) {
+	s, ts := newTestServer(t, stormOptions())
+	client := ts.Client()
+
+	const storm = 16
+	statuses := make([]int, storm)
+	retryAfter := make([]string, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct bodies so a response cache could never absorb the
+			// storm even if it were enabled.
+			body, _ := json.Marshal(ConvertRequest{
+				Dialect:    "postgresql",
+				Serialized: fmt.Sprintf("Seq Scan on t%d  (cost=0.00..1.00 rows=%d width=4)", i, i+1),
+			})
+			resp, err := client.Post(ts.URL+"/v1/convert", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d died instead of being answered: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for i, code := range statuses {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Errorf("request %d: 429 without a Retry-After hint", i)
+			}
+		default:
+			t.Errorf("request %d: status %d, want 200 or 429", i, code)
+		}
+	}
+	// 1 slot + 2 queue seats means at most 3 requests ever in the
+	// building; a 16-wide storm must shed and must also serve.
+	if ok == 0 {
+		t.Error("storm starved every request")
+	}
+	if shed == 0 {
+		t.Error("16-wide storm against a 3-capacity server shed nothing")
+	}
+	snap := s.Metrics()
+	if snap.Shed.Single != int64(shed) {
+		t.Errorf("shed counter = %d, observed %d 429s", snap.Shed.Single, shed)
+	}
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Errorf("admission state %d in flight / %d queued after the storm, want 0/0",
+			snap.InFlight, snap.QueueDepth)
+	}
+}
+
+// TestServeFaultBatchShedsBeforeSingle pins the load-shedding order at
+// the admission layer, where it is deterministic: with the queue at the
+// batch bound but under the single bound, a batch is refused while a
+// single still queues.
+func TestServeFaultBatchShedsBeforeSingle(t *testing.T) {
+	a := newAdmission(1, 4) // batchQueue = 2
+
+	// Occupy the only slot.
+	release, err := a.acquire(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park two single requests in the queue.
+	var parked sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		parked.Add(1)
+		go func() {
+			defer parked.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() { <-stop; cancel() }()
+			if rel, err := a.acquire(ctx, false); err == nil {
+				rel()
+			}
+		}()
+	}
+	for a.queueDepth() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue depth 2 == batch bound: the batch sheds...
+	if _, err := a.acquire(context.Background(), true); err == nil {
+		t.Fatal("batch admitted with the queue at the batch bound")
+	} else if shed, ok := asShed(err); !ok || !shed.batch {
+		t.Fatalf("batch refusal = %v, want a batch errShed", err)
+	}
+	// ...while a single still queues (its deadline expiring proves it
+	// waited rather than shed).
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx, false); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("single at depth 2 = %v, want a queued deadline expiry", err)
+	}
+
+	close(stop)
+	release()
+	parked.Wait()
+}
+
+func TestServeFaultSlowLoris(t *testing.T) {
+	s, url, errCh := startServer(t, Options{
+		ReadHeaderTimeout: 150 * time.Millisecond,
+		ReadTimeout:       150 * time.Millisecond,
+	})
+
+	// A connection that sends half a request line and then stalls.
+	conn, err := net.Dial("tcp", url[len("http://"):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/convert HT")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must reap the connection at the read deadline instead of
+	// holding it open: the read unblocks well before the test's own
+	// deadline, either with a close (EOF/reset) or with the 408 the net/http
+	// server writes on a header timeout — and then the connection closes.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		_, err := conn.Read(buf)
+		if err == nil {
+			continue // the 408 body; keep reading to the close
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("server still holding the slow-loris connection after 5s")
+		}
+		break // closed — reaped
+	}
+
+	// The service stayed healthy throughout.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after loris: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after loris = %d", resp.StatusCode)
+	}
+
+	drainServer(t, s, url, errCh)
+}
+
+func TestServeFaultMidRequestConnectionKill(t *testing.T) {
+	s, url, errCh := startServer(t, Options{
+		CacheSize:    -1,
+		HandlerDelay: 300 * time.Millisecond,
+	})
+
+	// The client gives up mid-handler; the connection dies under the
+	// in-flight request.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	body, _ := json.Marshal(ConvertRequest{Dialect: "postgresql", Serialized: pgPlan})
+	req, _ := http.NewRequestWithContext(ctx, "POST", url+"/v1/convert", bytes.NewReader(body))
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("the aborted request somehow succeeded in 50ms against a 300ms handler")
+	}
+
+	// The kill must not wedge the slot: the next request gets through.
+	req2, _ := http.NewRequest("POST", url+"/v1/convert", bytes.NewReader(body))
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Do(req2)
+	if err != nil {
+		t.Fatalf("convert after connection kill: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("convert after connection kill = %d", resp.StatusCode)
+	}
+
+	drainServer(t, s, url, errCh)
+}
+
+func TestServeFaultDrainWithInFlightBatch(t *testing.T) {
+	s, url, errCh := startServer(t, Options{
+		MaxInFlight:  1,
+		CacheSize:    -1,
+		HandlerDelay: 10 * time.Second, // far past the drain deadline: only cancellation ends it
+		BatchTimeout: 30 * time.Second,
+	})
+
+	// Park a batch in flight.
+	batchDone := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(BatchRequest{Records: []ConvertRequest{
+			{Dialect: "postgresql", Serialized: pgPlan},
+		}})
+		c := &http.Client{Timeout: 20 * time.Second}
+		resp, err := c.Post(url+"/v1/batch-convert", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		batchDone <- err
+	}()
+	waitFor(t, "batch in flight", func() bool { return s.Metrics().InFlight >= 1 })
+
+	// Drain with a deadline far shorter than the handler's stall. The
+	// base-context cancellation must cut the in-flight batch loose, so the
+	// whole drain ends in ~deadline time, not in HandlerDelay time.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("drain took %v against a 200ms deadline", took)
+	}
+	if drainErr == nil {
+		t.Error("drain with a stalled in-flight batch reported success, want the deadline failure")
+	}
+
+	// Probes stayed truthful mid-drain: alive, not ready. The listener is
+	// gone, so ask the handler directly.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (draining is alive)", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil || h.Status != "draining" {
+		t.Errorf("healthz body during drain = %s (err %v), want status draining", rec.Body.Bytes(), err)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", rec.Code)
+	}
+
+	// The batch client got an answer or a closed connection — never a
+	// hang.
+	select {
+	case <-batchDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight batch still hanging after drain")
+	}
+	if err := <-errCh; err != nil {
+		t.Errorf("Serve returned %v after drain", err)
+	}
+}
+
+// TestServeFaultDrainStoreSyncError: a store whose fsync fails during
+// the drain's durability barrier must surface the failure — the process
+// exits nonzero instead of claiming the journal is safe.
+func TestServeFaultDrainStoreSyncError(t *testing.T) {
+	faults := faultio.NewFaults()
+	log, err := store.Open(t.TempDir(), store.Options{
+		Open: func(path string) (store.WriteSyncer, error) {
+			ws, err := store.OpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return faultio.Wrap(ws, faults), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if _, err := log.AppendPlan([32]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _, errCh := startServer(t, Options{Store: log})
+	// The storage falls sick only now, so the drain's sync is the first
+	// call to hit it.
+	faults.SyncErr = fmt.Errorf("drain sync: %w", faultio.ErrInjected)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	if !errors.Is(drainErr, faultio.ErrInjected) {
+		t.Fatalf("drain over a failing fsync = %v, want the injected sync error", drainErr)
+	}
+	if err := <-errCh; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}
+
+// TestServeFaultGoroutineSettle runs a storm plus a drain and then
+// requires the goroutine count to settle back — the admission queue,
+// handler pool, and drain path leak nothing.
+func TestServeFaultGoroutineSettle(t *testing.T) {
+	start := runtime.NumGoroutine()
+
+	s, url, errCh := startServer(t, stormOptions())
+	transport := &http.Transport{}
+	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	var answered atomic.Int64
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(ConvertRequest{
+				Dialect:    "postgresql",
+				Serialized: fmt.Sprintf("Seq Scan on settle%d  (cost=0.00..1.00 rows=1 width=4)", i),
+			})
+			resp, err := client.Post(url+"/v1/convert", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				answered.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if answered.Load() == 0 {
+		t.Fatal("storm got no answers at all")
+	}
+	drainServer(t, s, url, errCh)
+	transport.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= start+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: started at %d, still %d", start, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget runs
+// out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// drainServer drains s cleanly and asserts the Serve goroutine exits.
+func drainServer(t *testing.T, s *Server, url string, errCh chan error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain %s: %v", url, err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not exit after drain")
+	}
+}

@@ -1,0 +1,123 @@
+package serveclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uplan/internal/serve"
+)
+
+// scripted returns a test server answering from a status script, with
+// the final entry repeating; 200s get a minimal ConvertResponse body.
+func scripted(t *testing.T, attempts *atomic.Int64, script ...int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := attempts.Add(1) - 1
+		status := script[min(int(i), len(script)-1)]
+		if status == http.StatusOK {
+			json.NewEncoder(w).Encode(serve.ConvertResponse{Dialect: "postgresql", Fingerprint64: "1"})
+			return
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "scripted", RetryAfterSeconds: 0})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientConvertRetriesShedThenSucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scripted(t, &attempts, http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusOK)
+	c := New(ts.URL, Options{Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	resp, err := c.Convert(context.Background(), "postgresql", "plan")
+	if err != nil {
+		t.Fatalf("convert after retryable failures: %v", err)
+	}
+	if resp.Fingerprint64 != "1" {
+		t.Errorf("unexpected response %+v", resp)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3 (429, 503, 200)", got)
+	}
+}
+
+func TestClientConvertDoesNotRetryConversionFailure(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scripted(t, &attempts, http.StatusUnprocessableEntity)
+	c := New(ts.URL, Options{Backoff: time.Millisecond})
+	_, err := c.Convert(context.Background(), "postgresql", "garbage")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want a 422 APIError", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("made %d attempts for a non-retryable 422, want 1", got)
+	}
+}
+
+func TestClientConvertRetryExhaustion(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scripted(t, &attempts, http.StatusTooManyRequests)
+	c := New(ts.URL, Options{MaxRetries: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, err := c.Convert(context.Background(), "postgresql", "plan")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the final 429", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts with MaxRetries 2, want 3", got)
+	}
+}
+
+func TestClientConvertContextBoundsBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scripted(t, &attempts, http.StatusTooManyRequests)
+	// A long backoff against a short caller deadline: the sleep must be
+	// cut off by ctx, not ridden out.
+	c := New(ts.URL, Options{Backoff: 10 * time.Second, MaxBackoff: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Convert(ctx, "postgresql", "plan")
+	if err == nil {
+		t.Fatal("convert succeeded against a permanent 429")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's deadline", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("call took %v; the backoff ignored the context", took)
+	}
+}
+
+func TestClientConvertHonorsRetryAfterHeader(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "full", RetryAfterSeconds: 1})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.ConvertResponse{Dialect: "postgresql", Fingerprint64: "1"})
+	}))
+	defer ts.Close()
+	// MaxBackoff clamps the server's 1s hint so the test stays fast; the
+	// hint path is still the one exercised (jittered into [25ms, 50ms)).
+	c := New(ts.URL, Options{Backoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Convert(context.Background(), "postgresql", "plan"); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	// The 1ms exponential base alone would retry near-instantly; waiting
+	// ≥ 20ms shows the clamped server hint drove the sleep.
+	if took := time.Since(start); took < 20*time.Millisecond {
+		t.Errorf("retried after %v; the Retry-After hint was ignored", took)
+	}
+}

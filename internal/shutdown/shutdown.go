@@ -1,0 +1,112 @@
+// Package shutdown is the two-stage signal protocol shared by
+// uplan-serve and the uplan-bench campaign runner.
+//
+// The first SIGINT/SIGTERM cancels the returned context: the process
+// stops taking new work, finishes or deadline-cancels what is in
+// flight, checkpoints its store, and exits 0. A second signal during
+// that window means the operator has lost patience — usually because a
+// checkpoint fsync is hung on sick storage — and the process exits
+// immediately with ForcedExitCode, a distinct nonzero status so
+// supervisors can tell "drained clean" (0) from "drain was abandoned"
+// (3) from "crashed" (anything else).
+//
+// The signal source and the exit function are injectable so the forced
+// path is testable in-process; Install wires the production
+// os/signal + os.Exit pair.
+package shutdown
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// ForcedExitCode is the status a second signal forces. Distinct from 0
+// (clean drain) and 1/2 (ordinary failures) on purpose.
+const ForcedExitCode = 3
+
+// Notifier owns one graceful-then-forced shutdown sequence.
+type Notifier struct {
+	sigs    <-chan os.Signal
+	exit    func(int)
+	warn    func(string)
+	cancel  context.CancelFunc
+	release func() // detaches the OS signal handler, nil for injected channels
+	quit    chan struct{}
+	done    chan struct{}
+	stopped sync.Once
+}
+
+// Install arms the production handler: SIGINT/SIGTERM cancel the
+// returned context, a second one exits the process with ForcedExitCode.
+// warn (may be nil) is called with a human-readable line when each
+// signal lands. Stop the notifier to release the signal handler.
+func Install(parent context.Context, warn func(string)) (context.Context, *Notifier) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	ctx, n := New(parent, ch, os.Exit, warn)
+	n.release = func() { signal.Stop(ch) }
+	return ctx, n
+}
+
+// New is Install with the signal channel and exit function injected —
+// tests feed synthetic signals and capture the exit code instead of
+// dying.
+func New(parent context.Context, sigs <-chan os.Signal, exit func(int), warn func(string)) (context.Context, *Notifier) {
+	if warn == nil {
+		warn = func(string) {}
+	}
+	ctx, cancel := context.WithCancel(parent)
+	n := &Notifier{
+		sigs:   sigs,
+		exit:   exit,
+		warn:   warn,
+		cancel: cancel,
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go n.watch()
+	return ctx, n
+}
+
+func (n *Notifier) watch() {
+	defer close(n.done)
+	select {
+	case sig, ok := <-n.sigs:
+		if !ok {
+			return
+		}
+		n.warn("received " + sig.String() + ": draining (send again to force exit)")
+		n.cancel()
+	case <-n.quit:
+		return
+	}
+	// Drain window: the process is shutting down gracefully; one more
+	// signal abandons the drain and forces out.
+	select {
+	case sig, ok := <-n.sigs:
+		if !ok {
+			return
+		}
+		n.warn("received " + sig.String() + " during drain: forcing exit")
+		n.exit(ForcedExitCode)
+	case <-n.quit:
+	}
+}
+
+// Stop cancels the context, detaches the signal handler, and waits for
+// the watcher to finish; after Stop a pending second signal can no
+// longer force an exit. Idempotent — defer it from main and also call
+// it on the clean path if you like.
+func (n *Notifier) Stop() {
+	n.stopped.Do(func() {
+		n.cancel()
+		if n.release != nil {
+			n.release()
+		}
+		close(n.quit)
+	})
+	<-n.done
+}

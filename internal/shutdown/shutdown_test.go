@@ -1,0 +1,126 @@
+package shutdown
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"uplan/internal/store"
+	"uplan/internal/store/faultio"
+)
+
+func TestShutdownFirstSignalDrains(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, n := New(context.Background(), sigs, func(code int) { exited <- code }, nil)
+	defer n.Stop()
+
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before any signal")
+	default:
+	}
+	sigs <- syscall.SIGTERM
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal forced exit %d; only the second may", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestShutdownForcedExitWithBlockedStoreSync is the regression test for
+// the abandoned-drain path: the graceful checkpoint is hung on a store
+// whose fsync never returns (a blocking faultio syncer), and the second
+// signal must still force an immediate exit with the distinct code — the
+// operator can always get out.
+func TestShutdownForcedExitWithBlockedStoreSync(t *testing.T) {
+	faults := faultio.NewFaults()
+	faults.SyncBlock = make(chan struct{})
+	log, err := store.Open(t.TempDir(), store.Options{
+		Open: func(path string) (store.WriteSyncer, error) {
+			ws, err := store.OpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return faultio.Wrap(ws, faults), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.AppendPlan([32]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, n := New(context.Background(), sigs, func(code int) { exited <- code }, nil)
+	defer n.Stop()
+
+	// The drain: first signal cancels ctx, the checkpoint sync hangs
+	// forever on the sick storage.
+	syncDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		syncDone <- log.Sync()
+	}()
+	sigs <- syscall.SIGINT
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not start the drain")
+	}
+	select {
+	case err := <-syncDone:
+		t.Fatalf("blocked sync returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// hung, as injected — the drain cannot finish on its own
+	}
+
+	// Second signal: forced exit with the distinct code, sync still hung.
+	sigs <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		if code != ForcedExitCode {
+			t.Fatalf("forced exit code = %d, want %d", code, ForcedExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal during a hung drain did not force exit")
+	}
+
+	// Unblock the storage so the test itself can clean up.
+	close(faults.SyncBlock)
+	if err := <-syncDone; err != nil {
+		t.Errorf("unblocked sync: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Errorf("store close: %v", err)
+	}
+}
+
+func TestShutdownStopStandsDown(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, n := New(context.Background(), sigs, func(code int) { exited <- code }, nil)
+	n.Stop()
+	n.Stop() // idempotent
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("Stop did not cancel the context")
+	}
+	// A signal landing after Stop must not force an exit.
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		t.Fatalf("signal after Stop forced exit %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

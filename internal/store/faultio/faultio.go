@@ -46,6 +46,11 @@ type Faults struct {
 	FlipBit int64
 	// SyncErr, when non-nil, is returned by every Sync call.
 	SyncErr error
+	// SyncBlock, when non-nil, makes every Sync call block until the
+	// channel is closed — a hung fsync on sick storage, the scenario the
+	// forced-exit shutdown path exists for. Combine with SyncErr to
+	// choose what the unblocked Sync then returns.
+	SyncBlock chan struct{}
 }
 
 // NewFaults returns a Faults with every injection disabled; set the
@@ -112,8 +117,12 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Sync returns the injected sync error, or defers to the inner sink.
+// Sync blocks on the injected channel if one is set, then returns the
+// injected sync error, or defers to the inner sink.
 func (w *Writer) Sync() error {
+	if w.f.SyncBlock != nil {
+		<-w.f.SyncBlock
+	}
 	if w.f.SyncErr != nil {
 		return w.f.SyncErr
 	}
