@@ -7,9 +7,10 @@
 //
 // Usage:
 //
-//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign|serve]
+//	uplan-bench [-seed 42] [-experiment all|table6|table7|figure4|q11|batch|text|campaign|serve|codec]
 //	            [-parallel N] [-reuse-arenas] [-iters N] [-queries N] [-out FILE]
 //	            [-store DIR] [-resume] [-checkpoint-every N]
+//	            [-pack FILE] [-unpack FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel N runs the batch experiment through the conversion pipeline
@@ -49,6 +50,16 @@
 // reports client-observed requests/sec, cache hit rate, and shed
 // counts. -out writes the run as JSON (see BENCH_batch.json's
 // uplan_serve snapshots).
+//
+// -experiment codec packs the converted corpus into the compact binary
+// plan format (internal/codec), compares the packed size against the
+// JSON serialization, and measures decode throughput three ways: fresh
+// allocations per plan, one continuously reused arena, and the streaming
+// JSON reference path. -pack FILE keeps the packed corpus on disk;
+// -unpack FILE decodes and summarizes an existing packed corpus instead
+// of benchmarking. -iters sets the full-corpus passes per decode path;
+// -out writes the run as JSON (see BENCH_batch.json's uplan_codec
+// snapshots).
 //
 // -cpuprofile / -memprofile write pprof profiles covering whichever
 // experiments ran, so hot-path regressions can be diagnosed with
@@ -104,7 +115,7 @@ type pathRun struct {
 
 func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
-	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text, campaign, serve")
+	experiment := flag.String("experiment", "all", "experiment: all, table6, table7, figure4, q11, batch, text, campaign, serve, codec")
 	parallel := flag.Int("parallel", 0, "batch: pipeline worker count (0 = sequential only); campaign: task pool bound (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "batch experiment: records per pipeline dispatch chunk (0 = default)")
 	reuseArenas := flag.Bool("reuse-arenas", false, "batch experiment: per-worker reusable arenas (owned-batch mode)")
@@ -114,6 +125,8 @@ func main() {
 	resume := flag.Bool("resume", false, "campaign experiment: resume an interrupted campaign from the -store directory")
 	checkpointEvery := flag.Int("checkpoint-every", 50, "campaign experiment: queries between mid-task durability checkpoints (0 = task boundaries only)")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
+	pack := flag.String("pack", "", "codec experiment: keep the packed binary corpus at FILE")
+	unpack := flag.String("unpack", "", "codec experiment: decode and summarize an existing packed corpus instead of benchmarking")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
 	flag.Parse()
@@ -153,8 +166,11 @@ func main() {
 		flushProfiles()
 		os.Exit(1)
 	}
-	if *out != "" && !run("batch") && *experiment != "serve" {
-		fail(fmt.Errorf("-out only applies to the batch and serve experiments (got -experiment %s)", *experiment))
+	if *out != "" && !run("batch") && *experiment != "serve" && *experiment != "codec" {
+		fail(fmt.Errorf("-out only applies to the batch, serve, and codec experiments (got -experiment %s)", *experiment))
+	}
+	if (*pack != "" || *unpack != "") && *experiment != "codec" {
+		fail(fmt.Errorf("-pack/-unpack only apply to the codec experiment (got -experiment %s)", *experiment))
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -237,6 +253,22 @@ func main() {
 		}
 		if err := runServeExperiment(*seed, *parallel, *iters, *reuseArenas, *out); err != nil {
 			fail(err)
+		}
+	}
+	// The codec experiment is explicit-only as well: a serialization
+	// microbenchmark, not one of the paper's artifacts.
+	if *experiment == "codec" {
+		if *unpack != "" {
+			if err := runCodecUnpack(*unpack); err != nil {
+				fail(err)
+			}
+		} else {
+			if *iters <= 0 {
+				fail(fmt.Errorf("-iters must be positive (got %d)", *iters))
+			}
+			if err := runCodecExperiment(*seed, *iters, *pack, *out); err != nil {
+				fail(err)
+			}
 		}
 	}
 	// The text experiment is explicit-only: it is a microbenchmark loop,

@@ -1,0 +1,221 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"uplan/internal/core"
+)
+
+// CorpusWriter packs many plans into one corpus blob with a single shared
+// string table. Records are buffered as plans are Added (the table cannot
+// be written until every plan has registered its strings), and the whole
+// corpus — header, table, count, records — is written by one Flush.
+//
+// The writer is single-use: after Flush (or the first error), Add and
+// Flush fail. Errors are sticky, so a loop of Adds may check only Flush.
+type CorpusWriter struct {
+	w       io.Writer
+	enc     encoder
+	recs    []byte
+	count   int
+	flushed bool
+}
+
+// NewCorpusWriter returns a writer that will emit the corpus to w on Flush.
+func NewCorpusWriter(w io.Writer) *CorpusWriter {
+	return &CorpusWriter{w: w}
+}
+
+// Add appends one plan to the corpus. The plan is fully serialized into
+// the writer's buffer during the call, so it may be arena-Reset or mutated
+// afterwards.
+func (cw *CorpusWriter) Add(p *core.Plan) error {
+	if cw.flushed {
+		return errors.New("codec: Add after Flush on a corpus writer")
+	}
+	if cw.enc.err != nil {
+		return cw.enc.err
+	}
+	recs, err := cw.enc.appendPlan(cw.recs, p)
+	if err != nil {
+		if cw.enc.err == nil {
+			cw.enc.err = err // make plan-level failures sticky too
+		}
+		return err
+	}
+	cw.recs = recs
+	cw.count++
+	return nil
+}
+
+// Count returns the number of plans added so far.
+func (cw *CorpusWriter) Count() int { return cw.count }
+
+// Flush assembles the corpus and writes it to the underlying writer. It
+// must be called exactly once; its error is the durability signal — a
+// dropped Flush error means a corpus the caller believes written may be
+// missing or torn.
+func (cw *CorpusWriter) Flush() error {
+	if cw.flushed {
+		return errors.New("codec: corpus writer already flushed")
+	}
+	if cw.enc.err != nil {
+		return cw.enc.err
+	}
+	cw.flushed = true
+	// Header + table sized exactly; records appended from the buffer.
+	out := make([]byte, 0, len(corpusMagic)+1+binary.MaxVarintLen64*(2+len(cw.enc.entries))+cw.enc.nbytes+len(cw.recs))
+	out = append(out, corpusMagic...)
+	out = append(out, Version)
+	out = cw.enc.appendTable(out)
+	out = binary.AppendUvarint(out, uint64(cw.count))
+	out = append(out, cw.recs...)
+	if _, err := cw.w.Write(out); err != nil {
+		return fmt.Errorf("codec: writing corpus: %w", err)
+	}
+	return nil
+}
+
+// WriteCorpusFile packs plans into path in one call: create, write, sync,
+// close. Convenience over CorpusWriter for the pack tooling.
+func WriteCorpusFile(path string, plans []*core.Plan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := NewCorpusWriter(f)
+	for _, p := range plans {
+		if err := cw.Add(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CorpusReader iterates the plans of a corpus blob. The string table is
+// parsed once at construction — the "interned once per file" half of the
+// zero-copy contract — and each Next is then a pure forward pass over the
+// mapped (or in-memory) bytes, building the plan in the caller's arena.
+//
+// A reader is not safe for concurrent use. Closing a reader unmaps its
+// file; plans decoded from it remain valid (their strings are independent
+// of the mapping), subject only to their arena's lifecycle.
+type CorpusReader struct {
+	data   []byte
+	table  []string
+	plans  int
+	body   int // offset of the first plan record
+	off    int
+	idx    int
+	unmap  func() error
+	closed bool
+}
+
+// NewCorpusReader opens a corpus held in memory. The reader keeps data and
+// reads from it on every Next; the caller must not mutate it while the
+// reader is in use.
+func NewCorpusReader(data []byte) (*CorpusReader, error) {
+	rest, err := checkHeader(data, corpusMagic)
+	if err != nil {
+		return nil, err
+	}
+	table, rest, err := parseTable(rest, nil)
+	if err != nil {
+		return nil, err
+	}
+	count, n, err := readUvarint(rest, 0)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(rest)-n) {
+		return nil, corrupt("corpus declares %d plans in %d remaining bytes", count, len(rest)-n)
+	}
+	body := len(data) - len(rest) + n
+	return &CorpusReader{data: data, table: table, plans: int(count), body: body, off: body}, nil
+}
+
+// OpenCorpus opens a corpus file, memory-mapping it when the platform
+// supports that (falling back to reading it whole). Close releases the
+// mapping.
+func OpenCorpus(path string) (*CorpusReader, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewCorpusReader(data)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	r.unmap = unmap
+	return r, nil
+}
+
+// Len returns the number of plans the corpus declares.
+func (r *CorpusReader) Len() int { return r.plans }
+
+// Next decodes the next plan into ar (heap fallback on nil) and returns
+// io.EOF — after verifying no trailing garbage follows the last record —
+// once the corpus is exhausted. A decode error poisons the cursor; Rewind
+// restarts from the first plan.
+func (r *CorpusReader) Next(ar *core.PlanArena) (*core.Plan, error) {
+	if r.closed {
+		return nil, errors.New("codec: Next on a closed corpus reader")
+	}
+	if r.idx >= r.plans {
+		if r.off != len(r.data) {
+			return nil, corrupt("%d trailing bytes after the last plan record", len(r.data)-r.off)
+		}
+		return nil, io.EOF
+	}
+	d := decoder{data: r.data, off: r.off, table: r.table}
+	p, err := d.decodePlan(ar)
+	if err != nil {
+		r.idx = r.plans
+		r.off = len(r.data) + 1 // poison: the trailing-bytes check fails too
+		return nil, fmt.Errorf("plan %d: %w", r.idx, err)
+	}
+	r.off = d.off
+	r.idx++
+	return p, nil
+}
+
+// Rewind resets the cursor to the first plan, letting one reader (and its
+// one-per-file table) serve many passes.
+func (r *CorpusReader) Rewind() {
+	r.off = r.body
+	r.idx = 0
+}
+
+// Close releases the reader's file mapping. It must be called on readers
+// from OpenCorpus — a dropped Close error (or a dropped Close) leaks the
+// mapping for the life of the process. Close is idempotent; Next fails
+// after it.
+func (r *CorpusReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.data = nil
+	if r.unmap != nil {
+		u := r.unmap
+		r.unmap = nil
+		return u()
+	}
+	return nil
+}

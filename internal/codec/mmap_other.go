@@ -1,0 +1,12 @@
+//go:build !unix
+
+package codec
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the file whole; unmap
+// is nil and Close has nothing to release.
+func mapFile(path string) (data []byte, unmap func() error, err error) {
+	data, err = os.ReadFile(path)
+	return data, nil, err
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package codec
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's contents as a read-only memory mapping plus
+// the function that releases it. Empty files and mmap failures (exotic
+// filesystems) fall back to reading the file whole, in which case unmap is
+// nil and Close has nothing to release.
+func mapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 || int64(int(size)) != size {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	return m, func() error { return syscall.Munmap(m) }, nil
+}

@@ -185,6 +185,30 @@ func (a *PlanArena) Intern(s string) string {
 	return c
 }
 
+// InternBytes is Intern for a []byte key: it returns the canonical string
+// for b, copying b into a new string only when the table has no entry yet.
+// A table hit costs zero allocations (the map lookup converts b without
+// copying), which is what makes repeated binary-codec decodes into a warm
+// arena allocation-free for their string tables. The same length and entry
+// caps as Intern apply; a nil arena always copies.
+func (a *PlanArena) InternBytes(b []byte) string {
+	if a == nil || len(b) > arenaMaxIntern {
+		return string(b)
+	}
+	if c, ok := a.intern[string(b)]; ok { // no alloc: compiler-recognized map key conversion
+		return c
+	}
+	if len(a.intern) >= arenaMaxInternEntries {
+		return string(b)
+	}
+	if a.intern == nil {
+		a.intern = make(map[string]string, 64)
+	}
+	c := string(b)
+	a.intern[c] = c
+	return c
+}
+
 // appendProp appends p to props using arena storage. Blocks sitting at the
 // slab frontier — the common case, since builders typically finish one
 // node's properties before starting the next — grow in place; displaced

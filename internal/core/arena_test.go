@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"testing"
@@ -180,5 +181,48 @@ func TestCloneAllocationCount(t *testing.T) {
 	// a little slack for the runtime.
 	if allocs > 6 {
 		t.Fatalf("Clone of a 101-node plan allocates %.1f times, want <= 6", allocs)
+	}
+}
+
+// TestArenaInternBytes pins the []byte-keyed intern path the binary codec
+// decodes through: a table hit returns the canonical string with zero
+// allocations, a miss copies (never aliasing the input buffer), and the
+// same caps as Intern apply.
+func TestArenaInternBytes(t *testing.T) {
+	arena := NewPlanArena()
+	buf := []byte("hash join")
+	s1 := arena.InternBytes(buf)
+	buf[0] = 'X' // mutate the input buffer; the interned string must not move
+	if s1 != "hash join" {
+		t.Fatalf("InternBytes aliases its input: %q", s1)
+	}
+	s2 := arena.InternBytes([]byte("hash join"))
+	if s2 != s1 {
+		t.Fatalf("second InternBytes returned a different string")
+	}
+	if s3 := arena.Intern("hash join"); s3 != s1 {
+		t.Fatalf("Intern and InternBytes disagree on the canonical copy")
+	}
+
+	key := []byte("hash join")
+	allocs := testing.AllocsPerRun(50, func() { arena.InternBytes(key) })
+	if allocs != 0 {
+		t.Fatalf("InternBytes hit allocates %.1f times, want 0", allocs)
+	}
+
+	long := bytes.Repeat([]byte("x"), arenaMaxIntern+1)
+	if got := arena.InternBytes(long); got != string(long) {
+		t.Fatalf("long InternBytes changed its input")
+	}
+	var nilArena *PlanArena
+	if got := nilArena.InternBytes([]byte("abc")); got != "abc" {
+		t.Fatalf("nil arena InternBytes = %q", got)
+	}
+
+	// The table survives Reset, so a warm arena decodes the same strings
+	// allocation-free across plans.
+	arena.Reset()
+	if got := arena.InternBytes([]byte("hash join")); got != s1 {
+		t.Fatalf("intern table lost across Reset")
 	}
 }

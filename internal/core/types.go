@@ -93,6 +93,23 @@ func CategoryIndex(c OperationCategory) int {
 // PropertyCategory classifies a property of an operation or plan.
 type PropertyCategory string
 
+// PropertyCategoryIndex returns c's position in PropertyCategories, or -1
+// for a category outside the canonical four. The binary codec uses it to
+// encode property categories as a single index instead of a string.
+func PropertyCategoryIndex(c PropertyCategory) int {
+	switch c {
+	case Cardinality:
+		return 0
+	case Cost:
+		return 1
+	case Configuration:
+		return 2
+	case Status:
+		return 3
+	}
+	return -1
+}
+
 // The property categories of the unified query plan representation.
 const (
 	// Cardinality properties are numeric estimates of data sizes

@@ -260,3 +260,16 @@ func TestEmptyPlanBehaviour(t *testing.T) {
 		t.Errorf("property-only plan should validate: %v", err)
 	}
 }
+
+// TestPropertyCategoryIndex mirrors TestCategoryIndex for the four
+// property categories the binary codec encodes by index.
+func TestPropertyCategoryIndex(t *testing.T) {
+	for i, c := range PropertyCategories {
+		if got := PropertyCategoryIndex(c); got != i {
+			t.Errorf("PropertyCategoryIndex(%s) = %d, want %d", c, got, i)
+		}
+	}
+	if got := PropertyCategoryIndex("Provenance"); got != -1 {
+		t.Errorf("PropertyCategoryIndex(unknown) = %d, want -1", got)
+	}
+}

@@ -46,12 +46,21 @@ func newResponseCache(capacity int) *responseCache {
 }
 
 // cacheKey hashes one request's identity. FNV-1a over
-// dialect NUL serialized, matching the store's finding-key construction.
-func cacheKey(dialect, serialized string) uint64 {
+// dialect NUL serialized NUL format, matching the store's finding-key
+// construction. The negotiated response format is part of the identity:
+// the cache stores marshaled bodies, and a binary body must never be
+// replayed to a JSON client (or vice versa) just because the input bytes
+// matched.
+func cacheKey(dialect, serialized string, binary bool) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(dialect))
 	h.Write([]byte{0})
 	h.Write([]byte(serialized))
+	format := byte(0)
+	if binary {
+		format = 1
+	}
+	h.Write([]byte{0, format})
 	return h.Sum64()
 }
 

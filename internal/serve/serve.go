@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uplan/internal/codec"
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/pipeline"
@@ -328,7 +330,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeBody writes a pre-marshaled JSON body.
 func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	s.writeTyped(w, status, jsonContentType, body)
+}
+
+// writeTyped writes a pre-marshaled body under an explicit media type —
+// the shared tail of the JSON and binary response paths.
+func (s *Server) writeTyped(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	if _, err := w.Write(body); err != nil {
@@ -376,15 +384,70 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		s.metrics.badRequests.Add(1)
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		s.writeError(w, status, "bad request body: "+err.Error(), 0)
+		s.badBody(w, err)
 		return false
 	}
+	return true
+}
+
+// readBinaryBody reads one bounded binary request body in full; the wire
+// decoders need the complete message.
+func (s *Server) readBinaryBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.badBody(w, err)
+		return nil, false
+	}
+	return data, true
+}
+
+// badBody answers a request whose body failed to read or decode: 413 when
+// the bound cut it off, 400 otherwise.
+func (s *Server) badBody(w http.ResponseWriter, err error) {
+	s.metrics.badRequests.Add(1)
+	status := http.StatusBadRequest
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	s.writeError(w, status, "bad request body: "+err.Error(), 0)
+}
+
+// decodeConvert reads one convert request in its negotiated format:
+// binary when the Content-Type says so, bounded JSON otherwise.
+func (s *Server) decodeConvert(w http.ResponseWriter, r *http.Request, dst *ConvertRequest) bool {
+	if !isBinaryContent(r) {
+		return s.decode(w, r, dst)
+	}
+	data, ok := s.readBinaryBody(w, r)
+	if !ok {
+		return false
+	}
+	req, err := DecodeBinaryConvertRequest(data)
+	if err != nil {
+		s.badBody(w, err)
+		return false
+	}
+	*dst = req
+	return true
+}
+
+// decodeBatch is decodeConvert's batch-request counterpart.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request, dst *BatchRequest) bool {
+	if !isBinaryContent(r) {
+		return s.decode(w, r, dst)
+	}
+	data, ok := s.readBinaryBody(w, r)
+	if !ok {
+		return false
+	}
+	req, err := DecodeBinaryBatchRequest(data)
+	if err != nil {
+		s.badBody(w, err)
+		return false
+	}
+	*dst = req
 	return true
 }
 
@@ -442,22 +505,49 @@ func (s *Server) buildConvertBody(req ConvertRequest) ([]byte, error) {
 	return json.Marshal(resp)
 }
 
+// buildConvertBinary is buildConvertBody on the binary wire: the plan
+// leaves as an internal/codec blob instead of canonical JSON, the
+// fingerprints in their natural binary forms.
+func (s *Server) buildConvertBinary(req ConvertRequest) ([]byte, error) {
+	var body []byte
+	err := s.convertInPooledArena(req.Dialect, req.Serialized, func(p *core.Plan) error {
+		blob, merr := codec.Encode(p)
+		if merr != nil {
+			return fmt.Errorf("encoding converted plan: %w", merr)
+		}
+		body = AppendBinaryConvertResponse(nil, BinaryConvertResponse{
+			Dialect:       req.Dialect,
+			Fingerprint64: p.Fingerprint64(core.FingerprintOptions{}),
+			Fingerprint:   p.FingerprintBytes(core.FingerprintOptions{}),
+			PlanBlob:      blob,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
 func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) {
 	s.metrics.convert.Add(1)
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 
 	var req ConvertRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeConvert(w, r, &req) {
 		return
 	}
+	binary := acceptsBinary(r)
 
 	// Cache before admission: a hit costs one hash and one map probe, so
-	// it must not consume (or wait for) a conversion slot.
-	key := cacheKey(req.Dialect, req.Serialized)
+	// it must not consume (or wait for) a conversion slot. The key folds
+	// in the negotiated response format — identical input bytes hit only
+	// within their own format.
+	key := cacheKey(req.Dialect, req.Serialized, binary)
 	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set(CacheHeader, "hit")
-		s.writeBody(w, http.StatusOK, body)
+		s.writeTyped(w, http.StatusOK, negotiatedType(binary), body)
 		return
 	}
 
@@ -473,7 +563,13 @@ func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body, err := s.buildConvertBody(req)
+	var body []byte
+	var err error
+	if binary {
+		body, err = s.buildConvertBinary(req)
+	} else {
+		body, err = s.buildConvertBody(req)
+	}
 	s.metrics.recordOne(req.Dialect, err)
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error(), 0)
@@ -481,7 +577,7 @@ func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.Put(key, body)
 	w.Header().Set(CacheHeader, "miss")
-	s.writeBody(w, http.StatusOK, body)
+	s.writeTyped(w, http.StatusOK, negotiatedType(binary), body)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -490,9 +586,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var req BatchRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBatch(w, r, &req) {
 		return
 	}
+	binary := acceptsBinary(r)
 	if len(req.Records) == 0 {
 		s.metrics.badRequests.Add(1)
 		s.writeError(w, http.StatusBadRequest, "batch has no records", 0)
@@ -524,15 +621,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	s.metrics.recordBatch(stats)
 
-	resp := BatchResponse{
-		Results:        make([]BatchItem, len(results)),
-		Converted:      stats.Converted,
-		ElapsedSeconds: stats.Elapsed.Seconds(),
-		PlansPerSec:    stats.PlansPerSec(),
-	}
+	deadlineExceeded := false
 	if err := ctx.Err(); err != nil {
 		s.metrics.deadlineExceeded.Add(1)
-		resp.DeadlineExceeded = true
+		deadlineExceeded = true
+	}
+
+	if binary {
+		resp := BinaryBatchResponse{
+			Results:          make([]BinaryBatchItem, len(results)),
+			Converted:        stats.Converted,
+			DeadlineExceeded: deadlineExceeded,
+			ElapsedSeconds:   stats.Elapsed.Seconds(),
+			PlansPerSec:      stats.PlansPerSec(),
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				resp.Results[i] = BinaryBatchItem{Error: res.Err.Error()}
+				resp.Errors++
+				continue
+			}
+			blob, err := codec.Encode(res.Plan)
+			if err != nil {
+				resp.Results[i] = BinaryBatchItem{Error: err.Error()}
+				resp.Errors++
+				continue
+			}
+			resp.Results[i] = BinaryBatchItem{PlanBlob: blob}
+		}
+		s.writeTyped(w, http.StatusOK, BinaryContentType, AppendBinaryBatchResponse(nil, resp))
+		return
+	}
+
+	resp := BatchResponse{
+		Results:          make([]BatchItem, len(results)),
+		Converted:        stats.Converted,
+		DeadlineExceeded: deadlineExceeded,
+		ElapsedSeconds:   stats.Elapsed.Seconds(),
+		PlansPerSec:      stats.PlansPerSec(),
 	}
 	// Errors counts per slot, not from stats: records the deadline cut off
 	// before a worker claimed them carry ctx's error in their slot but are

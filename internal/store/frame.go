@@ -46,6 +46,7 @@ const (
 	recPlan     byte = 0x02 // 32-byte plan fingerprint key
 	recFinding  byte = 0x03 // one campaign finding (5 length-prefixed strings)
 	recProgress byte = 0x04 // per-task checkpoint (identity + counters)
+	recPlanBlob byte = 0x05 // 32-byte fingerprint + binary plan payload (internal/codec blob)
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

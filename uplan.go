@@ -18,6 +18,7 @@ package uplan
 
 import (
 	"uplan/internal/campaign"
+	"uplan/internal/codec"
 	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/dbms"
@@ -249,6 +250,21 @@ func DefaultCampaignOptions() CampaignOptions { return campaign.DefaultOptions()
 //	for _, f := range res.Findings { fmt.Println(f) }
 func RunCampaigns(opts CampaignOptions) (*CampaignResult, error) {
 	return campaign.Run(opts)
+}
+
+// EncodeBinary serializes a plan in the compact binary plan format — a
+// deduplicated string table plus varint-framed depth-first node records
+// (see internal/codec). Binary blobs are typically several times smaller
+// than the JSON serialization and decode an order of magnitude faster.
+func EncodeBinary(p *Plan) ([]byte, error) { return codec.Encode(p) }
+
+// DecodeBinary decodes a binary plan blob produced by EncodeBinary,
+// building the plan in ar (pass nil for plain heap allocation). A plan
+// decoded into an arena follows the arena lifecycle: it is invalidated by
+// ar.Reset unless detached with Plan.Clone first; its strings never alias
+// the input buffer.
+func DecodeBinary(data []byte, ar *Arena) (*Plan, error) {
+	return codec.DecodeInto(data, ar)
 }
 
 // ParseText parses a unified plan from its text serialization (either the
