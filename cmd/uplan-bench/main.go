@@ -25,11 +25,12 @@
 // trajectory — the one-shot path against a reused arena — over -iters
 // conversions per dialect, reporting ns/plan and allocs/plan.
 //
-// -experiment campaign fans the QPG + CERT + TLP testing campaigns out
+// -experiment campaign fans every registered testing oracle (QPG, CERT,
+// TLP, and the cardinality-bounds oracle; -oracles selects a subset)
 // across all nine simulated engines on a -parallel-bounded worker pool
 // (0 means one worker per core) with a -queries budget per engine/oracle
-// task, printing per-engine stats and the deduplicated findings. The
-// finding set depends only on -seed, never on -parallel.
+// task, printing per-engine and per-oracle stats and the deduplicated
+// findings. The finding set depends only on -seed, never on -parallel.
 //
 // -store DIR journals the campaign through the durable plan-and-finding
 // log (internal/store): every plan fingerprint, finding, and per-task
@@ -75,6 +76,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"uplan/internal/bench"
@@ -124,6 +126,7 @@ func main() {
 	storeDir := flag.String("store", "", "campaign experiment: journal plans, findings, and checkpoints to this durable log directory")
 	resume := flag.Bool("resume", false, "campaign experiment: resume an interrupted campaign from the -store directory")
 	checkpointEvery := flag.Int("checkpoint-every", 50, "campaign experiment: queries between mid-task durability checkpoints (0 = task boundaries only)")
+	oracles := flag.String("oracles", "", "campaign experiment: comma-separated oracle subset (default: all registered; e.g. qpg,cert,tlp,bounds)")
 	out := flag.String("out", "", "batch experiment: write machine-readable JSON results to FILE")
 	pack := flag.String("pack", "", "codec experiment: keep the packed binary corpus at FILE")
 	unpack := flag.String("unpack", "", "codec experiment: decode and summarize an existing packed corpus instead of benchmarking")
@@ -191,6 +194,11 @@ func main() {
 		copts.Seed = *seed
 		copts.Workers = *parallel
 		copts.Queries = *queries
+		if *oracles != "" {
+			for _, name := range strings.Split(*oracles, ",") {
+				copts.Oracles = append(copts.Oracles, strings.TrimSpace(name))
+			}
+		}
 		if *resume && *storeDir == "" {
 			fail(fmt.Errorf("-resume requires -store DIR"))
 		}
@@ -237,7 +245,7 @@ func main() {
 				map[bool]string{true: " to " + *storeDir, false: ""}[*storeDir != ""])
 		}
 		fmt.Printf("== Campaign: %d engines x %d oracles, %d queries per task, seed %d ==\n",
-			len(res.Stats.Engines), len(campaign.AllOracles()), *queries, *seed)
+			len(res.Stats.Engines), len(res.Stats.Oracles), *queries, *seed)
 		fmt.Print(res.Stats)
 		fmt.Printf("findings (%d, deduplicated, canonical order):\n", len(res.Findings))
 		for _, f := range res.Findings {

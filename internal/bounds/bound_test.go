@@ -1,0 +1,150 @@
+package bounds
+
+import (
+	"testing"
+
+	"uplan/internal/catalog"
+	"uplan/internal/sql"
+)
+
+// boundSchema builds a catalog with a keyed table t0 (4 rows, c0 PRIMARY
+// KEY), a keyless table t1 (3 rows), a ghost table registered with no
+// columns or indexes (5 rows of stats), and a table t2 without collected
+// statistics.
+func boundSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	s := catalog.NewSchema()
+	add := func(tab *catalog.Table) {
+		t.Helper()
+		if err := s.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&catalog.Table{Name: "t0", Columns: []catalog.Column{
+		{Name: "c0", Type: catalog.TInt, PrimaryKey: true},
+		{Name: "c1", Type: catalog.TInt},
+	}})
+	add(&catalog.Table{Name: "t1", Columns: []catalog.Column{
+		{Name: "c0", Type: catalog.TInt},
+		{Name: "c1", Type: catalog.TInt},
+	}})
+	add(&catalog.Table{Name: "ghost"})
+	add(&catalog.Table{Name: "t2", Columns: []catalog.Column{
+		{Name: "c0", Type: catalog.TInt},
+	}})
+	s.SetStats("t0", &catalog.TableStats{RowCount: 4})
+	s.SetStats("t1", &catalog.TableStats{RowCount: 3})
+	s.SetStats("ghost", &catalog.TableStats{RowCount: 5})
+	return s
+}
+
+func TestBoundRules(t *testing.T) {
+	schema := boundSchema(t)
+	cases := []struct {
+		query string
+		want  float64
+	}{
+		// Selection, projection, grouping, ordering, and LIMIT never raise
+		// the FROM bound — and deliberately never lower it either (the
+		// engine's surfaced estimate may belong to any root-chain node).
+		{"SELECT * FROM t0", 4},
+		{"SELECT c1 FROM t0 WHERE c1 > 0", 4},
+		{"SELECT DISTINCT c1 FROM t0", 4},
+		{"SELECT c1 FROM t0 GROUP BY c1 ORDER BY c1 LIMIT 2", 4},
+		// FROM-less SELECT produces one row.
+		{"SELECT 1", 1},
+		// Join bounds: product in general, reduced to the non-key side when
+		// the equi-condition hits a key, through aliases too.
+		{"SELECT * FROM t0 JOIN t1 ON t0.c1 = t1.c1", 12},
+		{"SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0", 3},
+		{"SELECT * FROM t0 AS a JOIN t1 AS b ON a.c0 = b.c1", 3},
+		{"SELECT * FROM t0 JOIN ghost ON t0.c0 = ghost.c0", 5},
+		// LEFT JOIN adds the unmatched left rows, unless the right side is
+		// keyed — then every left row appears exactly once.
+		{"SELECT * FROM t0 LEFT JOIN t1 ON t0.c1 = t1.c1", 16},
+		{"SELECT * FROM t1 LEFT JOIN t0 ON t1.c0 = t0.c0", 3},
+		// Set operations: sum, min, left.
+		{"SELECT c0 FROM t0 UNION SELECT c0 FROM t1", 7},
+		{"SELECT c0 FROM t0 UNION ALL SELECT c0 FROM t1", 7},
+		{"SELECT c0 FROM t0 INTERSECT SELECT c0 FROM t1", 3},
+		{"SELECT c0 FROM t0 EXCEPT SELECT c0 FROM t1", 4},
+	}
+	for _, tc := range cases {
+		stmt, err := sql.ParseSelect(tc.query)
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		got, ok := Bound(stmt, schema)
+		if !ok {
+			t.Errorf("%s: no bound, want %v", tc.query, tc.want)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: bound %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestBoundUnprovable(t *testing.T) {
+	schema := boundSchema(t)
+	for _, query := range []string{
+		// Unknown table, and a known table without collected statistics:
+		// the true size is unknown, so nothing is provable.
+		"SELECT * FROM nope",
+		"SELECT * FROM t2",
+		"SELECT * FROM t0 JOIN t2 ON t0.c0 = t2.c0",
+		"SELECT c0 FROM t0 UNION SELECT c0 FROM t2",
+	} {
+		stmt, err := sql.ParseSelect(query)
+		if err != nil {
+			t.Errorf("%s: %v", query, err)
+			continue
+		}
+		if b, ok := Bound(stmt, schema); ok {
+			t.Errorf("%s: got bound %v, want unprovable", query, b)
+		}
+	}
+	if b, ok := Bound(nil, schema); ok {
+		t.Errorf("nil select: got bound %v", b)
+	}
+	stmt, err := sql.ParseSelect("SELECT * FROM t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := Bound(stmt, nil); ok {
+		t.Errorf("nil schema: got bound %v", b)
+	}
+}
+
+// TestBoundKeyReductionSoundness pins the cases where the key reduction
+// must NOT fire: a key column equated through a derived table (no
+// constraints survive projection in general), and a key that sits inside
+// a wider join tree (it keys its table, not the tree's row combinations).
+func TestBoundKeyReductionSoundness(t *testing.T) {
+	schema := boundSchema(t)
+	cases := []struct {
+		query string
+		want  float64
+	}{
+		{"SELECT * FROM (SELECT * FROM t0) AS s JOIN t1 ON s.c0 = t1.c0", 12},
+		// t0's key is inside the (t0 JOIN t1) subtree: joining ghost on it
+		// must use the product bound 12*5, not collapse to ghost's 5.
+		{"SELECT * FROM t0 JOIN t1 ON t0.c1 = t1.c1 JOIN ghost ON t0.c0 = ghost.c0", 60},
+	}
+	for _, tc := range cases {
+		stmt, err := sql.ParseSelect(tc.query)
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		got, ok := Bound(stmt, schema)
+		if !ok {
+			t.Errorf("%s: no bound", tc.query)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: bound %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 // Package campaign is the concurrent multi-engine testing orchestrator —
-// the paper's headline application (A.1) run at fleet scale. QPG (Ba &
-// Rigger, ICSE 2023), CERT (ICSE 2024), and the TLP oracle are each
-// implemented once over the unified plan representation; this package
-// fans all three out across every simulated engine on one bounded worker
-// pool (the chunked-dispatch core shared with internal/pipeline), merges
-// their findings into a race-safe deduplicating store, and aggregates
-// per-engine statistics in the style of pipeline.Stats.
+// the paper's headline application (A.1) run at fleet scale. Every
+// registered testing oracle (QPG, CERT, TLP, the cardinality-bounds
+// oracle — see internal/oracle) is implemented once over the unified
+// plan representation; this package fans them out across every simulated
+// engine on one bounded worker pool (the chunked-dispatch core shared
+// with internal/pipeline), merges their findings into a race-safe
+// deduplicating store, and aggregates per-engine and per-oracle
+// statistics in the style of pipeline.Stats. The orchestrator knows no
+// oracle by name: dispatch, stats, and seed derivation flow through the
+// oracle registry, so a new technique is a leaf-package addition.
 //
 // Determinism contract: each (engine, oracle) task derives its generator
 // seed from the top-level seed and its own identity, runs strictly
@@ -19,46 +22,46 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"strings"
 	"time"
 
-	"uplan/internal/cert"
-	"uplan/internal/core"
 	"uplan/internal/dbms"
-	"uplan/internal/exec"
+	"uplan/internal/oracle"
+	// The built-in oracle implementations register themselves; the
+	// orchestrator dispatches purely through the registry and this blank
+	// import is what links the built-in set into any campaign binary.
+	_ "uplan/internal/oracle/all"
 	"uplan/internal/pipeline"
-	"uplan/internal/qpg"
-	"uplan/internal/sqlancer"
 	pstore "uplan/internal/store"
-	"uplan/internal/tlp"
 )
 
 // Oracle names one of the DBMS-agnostic testing techniques the
-// orchestrator can run.
-type Oracle string
+// orchestrator can run — an oracle registry key.
+type Oracle = string
 
-// The three oracles, in canonical order.
+// The built-in oracles, in canonical order.
 const (
-	OracleQPG  Oracle = "qpg"  // plan-guided generation + differential oracle
-	OracleCERT Oracle = "cert" // cardinality-estimate monotonicity
-	OracleTLP  Oracle = "tlp"  // ternary logic partitioning
+	OracleQPG    Oracle = "qpg"    // plan-guided generation + differential oracle
+	OracleCERT   Oracle = "cert"   // cardinality-estimate monotonicity
+	OracleTLP    Oracle = "tlp"    // ternary logic partitioning
+	OracleBounds Oracle = "bounds" // static SPJU output-size bounds
 )
 
-// AllOracles lists the oracles in canonical order.
-func AllOracles() []Oracle { return []Oracle{OracleQPG, OracleCERT, OracleTLP} }
+// AllOracles lists the registered oracles in canonical order.
+func AllOracles() []Oracle { return oracle.Names() }
 
-// Kind classifies campaign findings.
-type Kind string
+// Kind classifies campaign findings; see the oracle package for the
+// shared kinds. Oracles may add their own (the bounds oracle's
+// "bound-violation").
+type Kind = oracle.Kind
 
-// Finding kinds. The first three mirror qpg.BugKind; estimate findings
-// come from the CERT oracle.
+// Finding kinds shared across the built-in oracles.
 const (
-	KindLogic    Kind = "logic"      // wrong results (TLP or differential)
-	KindCrash    Kind = "crash"      // execution error on generated input
-	KindPlan     Kind = "plan-parse" // converter failed on the engine's plan
-	KindEstimate Kind = "estimate"   // estimate monotonicity broken or unreadable
+	KindLogic    = oracle.KindLogic
+	KindCrash    = oracle.KindCrash
+	KindPlan     = oracle.KindPlan
+	KindEstimate = oracle.KindEstimate
 )
 
 // Finding is one deduplicated campaign discovery.
@@ -79,8 +82,8 @@ type Options struct {
 	// Engines lists the engine keys to test. Empty means all nine studied
 	// engines, in Table I order.
 	Engines []string
-	// Oracles lists the techniques to run per engine. Empty means all
-	// three.
+	// Oracles lists the techniques to run per engine. Empty means every
+	// registered oracle; unknown names are refused before any task runs.
 	Oracles []Oracle
 	// Queries is the generated-query budget per (engine, oracle) task.
 	Queries int
@@ -126,11 +129,12 @@ type Options struct {
 	// Resume permits running against a non-empty Store: tasks with a
 	// recovered Done checkpoint are skipped (their stats and findings come
 	// from the log), the rest re-run from scratch. The options must match
-	// the ones the store was created with (enforced via a config stamp);
-	// Inject is the one exception — it cannot be serialized, so a resumed
-	// run must supply the same injection by hand. Without Resume, a
-	// non-empty store is an error: refusing to silently mix two campaigns'
-	// journals is what keeps a log attributable to one configuration.
+	// the ones the store was created with (enforced via a config stamp
+	// that includes the oracle set); Inject is the one exception — it
+	// cannot be serialized, so a resumed run must supply the same
+	// injection by hand. Without Resume, a non-empty store is an error:
+	// refusing to silently mix two campaigns' journals is what keeps a log
+	// attributable to one configuration.
 	Resume bool
 	// OnProgress, when set, is invoked after every durably written
 	// checkpoint (periodic and Done alike), from whichever worker wrote
@@ -176,6 +180,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validateOracles refuses unknown oracle names before any task runs —
+// a typo in Options.Oracles should fail the whole run up front, not
+// surface mid-campaign as one failed task per engine.
+func (o Options) validateOracles() error {
+	for _, name := range o.Oracles {
+		if _, ok := oracle.Lookup(name); !ok {
+			return fmt.Errorf("campaign: unknown oracle %q (registered: %s)",
+				name, strings.Join(oracle.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 // metaBlob renders the determinism-relevant options as the store's config
 // stamp. Must be called after withDefaults so the engine and oracle lists
 // are concrete. Workers, CheckpointEvery, and the callbacks are excluded
@@ -186,11 +203,7 @@ func (o Options) metaBlob() []byte {
 	fmt.Fprintf(&b, "uplan-campaign v1\nseed=%d queries=%d stall=%d tables=%d rows=%d maxfindings=%d\n",
 		o.Seed, o.Queries, o.StallThreshold, o.Tables, o.Rows, o.MaxFindings)
 	fmt.Fprintf(&b, "engines=%s\n", strings.Join(o.Engines, ","))
-	oracles := make([]string, len(o.Oracles))
-	for i, or := range o.Oracles {
-		oracles[i] = string(or)
-	}
-	fmt.Fprintf(&b, "oracles=%s\n", strings.Join(oracles, ","))
+	fmt.Fprintf(&b, "oracles=%s\n", strings.Join(o.Oracles, ","))
 	return []byte(b.String())
 }
 
@@ -210,11 +223,9 @@ type task struct {
 // taskDelta is one task's contribution to the merged stats, plus its
 // hard failure (engine construction or schema setup), if any.
 type taskDelta struct {
-	queries, statements      int
-	planQueries, newPlans    int
-	distinctPlans, mutations int
-	checks, skipped          int
-	err                      error
+	rep        oracle.TaskReport
+	statements int
+	err        error
 }
 
 // Run fans the configured oracles out across the configured engines on a
@@ -225,6 +236,9 @@ type taskDelta struct {
 // Result still covers every task that ran.
 func Run(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if err := opts.validateOracles(); err != nil {
+		return nil, err
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -247,14 +261,16 @@ func Run(opts Options) (*Result, error) {
 		}
 		// Stamp (or, on resume, validate) the configuration: AppendMeta is
 		// idempotent on an identical blob and errors on a different one,
-		// which is exactly the resume-under-changed-options guard.
+		// which is exactly the resume-under-changed-options guard — an
+		// added or removed oracle changes the stamp's oracles= line and is
+		// refused here.
 		if err := opts.Store.AppendMeta(opts.metaBlob()); err != nil {
 			return nil, fmt.Errorf("campaign: config stamp: %w", err)
 		}
 		if opts.Resume {
 			for key, p := range rec.Progress {
 				if p.Done {
-					done[task{engine: key.Engine, oracle: Oracle(key.Oracle)}] = p
+					done[task{engine: key.Engine, oracle: key.Oracle}] = p
 				}
 			}
 			// Every recovered plan key seeds the cross-engine set (union
@@ -262,9 +278,9 @@ func Run(opts Options) (*Result, error) {
 			// unfinished task re-runs in a clean per-task dedup space.
 			st.seedPlans(rec.Plans)
 			for _, f := range rec.Findings {
-				if _, ok := done[task{engine: f.Engine, oracle: Oracle(f.Oracle)}]; ok {
+				if _, ok := done[task{engine: f.Engine, oracle: f.Oracle}]; ok {
 					st.seedFinding(Finding{
-						Engine: f.Engine, Oracle: Oracle(f.Oracle),
+						Engine: f.Engine, Oracle: f.Oracle,
 						Kind: Kind(f.Kind), Query: f.Query, Detail: f.Detail,
 					})
 				}
@@ -292,19 +308,34 @@ func Run(opts Options) (*Result, error) {
 		},
 		func(struct{}) {})
 
-	res := &Result{Stats: Stats{Engines: map[string]*EngineStats{}}}
+	res := &Result{Stats: Stats{Engines: map[string]*EngineStats{}, Oracles: map[string]*OracleStats{}}}
 	var errs []error
 	for i, d := range deltas {
 		es := res.Stats.engineStats(tasks[i].engine)
-		es.Queries += d.queries
+		es.Queries += d.rep.Queries
 		es.Statements += d.statements
-		es.PlanQueries += d.planQueries
-		es.NewPlans += d.newPlans
-		es.DistinctPlans += d.distinctPlans
-		es.Mutations += d.mutations
-		es.Checks += d.checks
-		es.Skipped += d.skipped
-		res.Stats.Queries += d.queries
+		es.PlanQueries += d.rep.PlanQueries
+		es.NewPlans += d.rep.NewPlans
+		es.DistinctPlans += d.rep.DistinctPlans
+		es.Mutations += d.rep.Mutations
+		es.Checks += d.rep.Checks
+		es.Skipped += d.rep.Skipped
+		os := res.Stats.oracleStats(tasks[i].oracle)
+		os.Queries += d.rep.Queries
+		os.Statements += d.statements
+		os.PlanQueries += d.rep.PlanQueries
+		os.NewPlans += d.rep.NewPlans
+		os.DistinctPlans += d.rep.DistinctPlans
+		os.Mutations += d.rep.Mutations
+		os.Checks += d.rep.Checks
+		os.Skipped += d.rep.Skipped
+		for name, n := range d.rep.Extra {
+			if os.Extra == nil {
+				os.Extra = map[string]int{}
+			}
+			os.Extra[name] += n
+		}
+		res.Stats.Queries += d.rep.Queries
 		res.Stats.Statements += d.statements
 		if d.err != nil {
 			errs = append(errs, fmt.Errorf("campaign: %s/%s: %w", tasks[i].engine, tasks[i].oracle, d.err))
@@ -318,6 +349,9 @@ func Run(opts Options) (*Result, error) {
 		es := res.Stats.engineStats(f.Engine)
 		es.Findings++
 		es.ByKind[f.Kind]++
+		os := res.Stats.oracleStats(f.Oracle)
+		os.Findings++
+		os.ByKind[f.Kind]++
 	}
 	// Final durability barrier: whatever the tasks journaled is on disk
 	// before Run returns, even when no checkpoint happened to land last.
@@ -341,16 +375,19 @@ func Run(opts Options) (*Result, error) {
 // from its recovered Done checkpoint, so a resumed run reports the exact
 // numbers of an uninterrupted one without re-running the task.
 func deltaFromProgress(p pstore.TaskProgress) taskDelta {
-	return taskDelta{
-		queries:       p.Queries,
-		statements:    p.Statements,
-		planQueries:   p.PlanQueries,
-		newPlans:      p.NewPlans,
-		distinctPlans: p.DistinctPlans,
-		mutations:     p.Mutations,
-		checks:        p.Checks,
-		skipped:       p.Skipped,
+	var d taskDelta
+	d.statements = p.Statements
+	d.rep.Queries = p.Queries
+	d.rep.PlanQueries = p.PlanQueries
+	d.rep.NewPlans = p.NewPlans
+	d.rep.DistinctPlans = p.DistinctPlans
+	d.rep.Mutations = p.Mutations
+	d.rep.Checks = p.Checks
+	d.rep.Skipped = p.Skipped
+	for name, n := range p.Extra {
+		d.rep.AddExtra(name, n)
 	}
+	return d
 }
 
 // ticker threads a task's cooperative cancellation and periodic
@@ -384,22 +421,28 @@ func (tk *ticker) tick(queries int) bool {
 
 // deriveSeed mixes the top-level seed with the task identity so every
 // task gets an independent, reproducible generator stream regardless of
-// which worker runs it or when.
-func deriveSeed(seed int64, engine string, oracle Oracle) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(engine))
-	h.Write([]byte{0})
-	h.Write([]byte(oracle))
-	return seed ^ int64(h.Sum64())
+// which worker runs it or when. The derivation lives in the oracle
+// package; the campaign's contract is that it never changes.
+func deriveSeed(seed int64, engine string, o Oracle) int64 {
+	return oracle.DeriveSeed(seed, engine, o)
 }
 
-// runTask builds the task's target engine and dispatches to its oracle.
-// A task that runs to completion (no hard failure, no cancellation)
-// journals a Done checkpoint: the store syncs the task's data shards
-// before the marker, so a recovered Done proves the task's plans and
-// findings survived too — the ordering resume correctness rests on.
+// runTask builds the task's target engine, resolves its oracle from the
+// registry, and runs it with the orchestrator's hooks wired into the
+// task context. A task that runs to completion (no hard failure, no
+// cancellation) journals a Done checkpoint: the store syncs the task's
+// data shards before the marker, so a recovered Done proves the task's
+// plans and findings survived too — the ordering resume correctness
+// rests on.
 func runTask(ctx context.Context, t task, opts Options, st *store) taskDelta {
 	var d taskDelta
+	impl, ok := oracle.Lookup(t.oracle)
+	if !ok {
+		// Unreachable after validateOracles; kept so a registry mutated
+		// mid-run still fails loudly instead of panicking.
+		d.err = fmt.Errorf("unknown oracle %q", t.oracle)
+		return d
+	}
 	e, err := dbms.New(t.engine)
 	if err != nil {
 		d.err = err
@@ -408,198 +451,52 @@ func runTask(ctx context.Context, t task, opts Options, st *store) taskDelta {
 	if opts.Inject != nil {
 		opts.Inject(e)
 	}
+	dec, err := oracle.NewDecoder(e.Info.Name)
+	if err != nil {
+		d.err = err
+		return d
+	}
 	tk := &ticker{
 		ctx:        ctx,
 		st:         st,
 		every:      opts.CheckpointEvery,
-		prog:       pstore.TaskProgress{Engine: t.engine, Oracle: string(t.oracle)},
+		prog:       pstore.TaskProgress{Engine: t.engine, Oracle: t.oracle},
 		onProgress: opts.OnProgress,
 	}
-	seed := deriveSeed(opts.Seed, t.engine, t.oracle)
-	switch t.oracle {
-	case OracleQPG:
-		runQPGTask(e, seed, opts, st, tk, &d)
-	case OracleCERT:
-		runCERTTask(e, seed, opts, st, tk, &d)
-	case OracleTLP:
-		runTLPTask(e, seed, opts, st, tk, &d)
-	default:
-		d.err = fmt.Errorf("unknown oracle %q", t.oracle)
+	tc := &oracle.TaskContext{
+		Engine:         e,
+		Seed:           deriveSeed(opts.Seed, t.engine, t.oracle),
+		Queries:        opts.Queries,
+		StallThreshold: opts.StallThreshold,
+		Tables:         opts.Tables,
+		Rows:           opts.Rows,
+		MaxFindings:    opts.MaxFindings,
+		Decoder:        dec,
+		Report: func(f oracle.Finding) bool {
+			return st.add(Finding{
+				Engine: t.engine, Oracle: t.oracle,
+				Kind: f.Kind, Query: f.Query, Detail: f.Detail,
+			})
+		},
+		ObservePlan: st.observePlan,
+		Tick:        tk.tick,
 	}
+	d.rep, d.err = impl.Run(tc)
 	d.statements = e.Queries()
 	if d.err == nil && ctx.Err() == nil {
 		// Failed tasks never get a Done marker: a resumed run re-runs them
 		// and resurfaces the error instead of silently forgetting it.
 		p := pstore.TaskProgress{
-			Engine: t.engine, Oracle: string(t.oracle), Done: true,
-			Queries: d.queries, Statements: d.statements,
-			PlanQueries: d.planQueries, NewPlans: d.newPlans,
-			DistinctPlans: d.distinctPlans, Mutations: d.mutations,
-			Checks: d.checks, Skipped: d.skipped,
+			Engine: t.engine, Oracle: t.oracle, Done: true,
+			Queries: d.rep.Queries, Statements: d.statements,
+			PlanQueries: d.rep.PlanQueries, NewPlans: d.rep.NewPlans,
+			DistinctPlans: d.rep.DistinctPlans, Mutations: d.rep.Mutations,
+			Checks: d.rep.Checks, Skipped: d.rep.Skipped,
+			Extra: d.rep.Extra,
 		}
 		if st.checkpoint(p) && opts.OnProgress != nil {
 			opts.OnProgress(p)
 		}
 	}
 	return d
-}
-
-// runQPGTask runs a full QPG campaign (plan guidance, differential and TLP
-// oracles, mutation feedback) against the engine, streaming every observed
-// unified plan into the cross-engine store.
-func runQPGTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
-	qopts := qpg.Options{
-		Queries:        opts.Queries,
-		StallThreshold: opts.StallThreshold,
-		Seed:           seed,
-		MaxFindings:    opts.MaxFindings,
-	}
-	c, err := qpg.New(e, qopts)
-	if err != nil {
-		d.err = err
-		return
-	}
-	// The campaign's hot loop decodes plans into a reused arena; the
-	// observer must only fingerprint, never retain.
-	c.Observer = func(p *core.Plan) { st.observePlan(p) }
-	c.Tick = tk.tick
-	if err := c.Setup(opts.Tables, opts.Rows); err != nil {
-		d.err = err
-		return
-	}
-	for _, f := range c.Run(qopts) {
-		st.add(Finding{
-			Engine: e.Info.Name,
-			Oracle: OracleQPG,
-			Kind:   Kind(f.Kind),
-			Query:  f.Query,
-			Detail: f.Detail,
-		})
-	}
-	d.queries = c.QueriesRun
-	d.planQueries = c.PlansObserved
-	d.newPlans = c.NewPlans
-	d.distinctPlans = c.Plans.Size()
-	d.mutations = c.Mutations
-}
-
-// runCERTTask runs the CERT oracle: random base/restricted pairs whose
-// estimates must shrink. Unplannable pairs are skipped; a readable-estimate
-// failure is itself a finding (the engine planned the query but its plan
-// exposes no estimate, or the plan did not convert).
-func runCERTTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
-	gen := sqlancer.New(seed)
-	if err := applySchema(e, gen, opts); err != nil {
-		d.err = err
-		return
-	}
-	checker, err := cert.New(e)
-	if err != nil {
-		d.err = err
-		return
-	}
-	found := 0
-	for i := 0; i < opts.Queries; i++ {
-		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
-			break
-		}
-		if !tk.tick(d.queries) {
-			break
-		}
-		d.queries++
-		base, restricted := gen.RestrictableQuery()
-		v, err := checker.CheckPair(base, restricted)
-		var f Finding
-		switch {
-		case errors.Is(err, cert.ErrUnplannable):
-			d.skipped++
-			continue
-		case errors.Is(err, cert.ErrNoEstimate):
-			f = Finding{
-				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindEstimate,
-				Query: base, Detail: "no cardinality estimate in plan",
-			}
-		case err != nil:
-			f = Finding{
-				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindPlan,
-				Query: base, Detail: err.Error(),
-			}
-		case v != nil:
-			f = Finding{
-				Engine: e.Info.Name, Oracle: OracleCERT, Kind: KindEstimate,
-				Query: v.Restricted, Detail: v.String(),
-			}
-		default:
-			continue
-		}
-		added := st.add(f)
-		if added {
-			found++
-		}
-		if !added && errors.Is(err, cert.ErrNoEstimate) {
-			// A plan format that exposes no estimate for one query exposes
-			// none for any (the finding is already recorded); spending the
-			// rest of the budget would only re-derive it at two
-			// EXPLAIN-plus-convert round trips per pair.
-			break
-		}
-	}
-	d.checks = checker.Checked
-}
-
-// runTLPTask runs the standalone TLP oracle loop: partition every random
-// predicate into φ / NOT φ / φ IS NULL and compare the union with the
-// unpartitioned result.
-func runTLPTask(e *dbms.Engine, seed int64, opts Options, st *store, tk *ticker, d *taskDelta) {
-	gen := sqlancer.New(seed)
-	if err := applySchema(e, gen, opts); err != nil {
-		d.err = err
-		return
-	}
-	found := 0
-	for i := 0; i < opts.Queries; i++ {
-		if opts.MaxFindings > 0 && found >= opts.MaxFindings {
-			break
-		}
-		if !tk.tick(d.queries) {
-			break
-		}
-		d.queries++
-		table, pred := gen.PartitionableQuery()
-		v, err := tlp.Check(e, table, pred)
-		var f Finding
-		switch {
-		case errors.Is(err, exec.ErrUnresolvedColumn):
-			// Generator noise: the predicate names a column this table
-			// lacks.
-			d.skipped++
-			continue
-		case err != nil:
-			f = Finding{
-				Engine: e.Info.Name, Oracle: OracleTLP, Kind: KindCrash,
-				Query: "TLP " + table + " / " + pred, Detail: err.Error(),
-			}
-		case v != nil:
-			f = Finding{
-				Engine: e.Info.Name, Oracle: OracleTLP, Kind: KindLogic,
-				Query: v.Base + " WHERE " + pred, Detail: v.Detail,
-			}
-		default:
-			continue
-		}
-		if st.add(f) {
-			found++
-		}
-	}
-}
-
-// applySchema loads the generator's random schema into the engine and
-// refreshes its statistics.
-func applySchema(e *dbms.Engine, gen *sqlancer.Generator, opts Options) error {
-	for _, stmt := range gen.SchemaSQL(opts.Tables, opts.Rows) {
-		if _, err := e.Execute(stmt); err != nil {
-			return fmt.Errorf("schema %q: %w", stmt, err)
-		}
-	}
-	return e.Analyze()
 }

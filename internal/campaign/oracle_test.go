@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	pstore "uplan/internal/store"
+)
+
+// TestUnknownOracleRefusedUpFront pins the validation contract: a typo in
+// Options.Oracles fails the whole run before any task executes — no
+// partial result, no stats, and, with a store attached, no config stamp
+// that would poison a later correctly-spelled run.
+func TestUnknownOracleRefusedUpFront(t *testing.T) {
+	opts := testOptions(1)
+	opts.Engines = []string{"sqlite"}
+	opts.Oracles = []Oracle{OracleQPG, "certt"}
+	progressed := 0
+	opts.OnProgress = func(pstore.TaskProgress) { progressed++ }
+
+	res, err := Run(opts)
+	if err == nil {
+		t.Fatal("unknown oracle must fail the run")
+	}
+	if !strings.Contains(err.Error(), `unknown oracle "certt"`) {
+		t.Fatalf("error must name the bad oracle: %v", err)
+	}
+	if !strings.Contains(err.Error(), OracleBounds) {
+		t.Fatalf("error must list the registered oracles: %v", err)
+	}
+	if res != nil {
+		t.Fatalf("refusal must not produce a partial result: %+v", res)
+	}
+	if progressed != 0 {
+		t.Fatalf("%d tasks progressed before validation", progressed)
+	}
+
+	// With a store attached the refusal must come before the config stamp:
+	// the same directory must still accept a correctly-spelled run.
+	dir := t.TempDir()
+	log := mustOpenLog(t, dir)
+	opts.Store = log
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown oracle must fail a store-backed run too")
+	}
+	opts.Oracles = []Oracle{OracleQPG}
+	opts.Queries = 5
+	if _, err := Run(opts); err != nil {
+		t.Fatalf("store was poisoned by the refused run: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignResumeOracleSetChange pins the resume guard for the oracle
+// half of the configuration: adding or removing an oracle between the
+// original run and the resume changes the config stamp and must be
+// refused, while resuming with the identical set succeeds.
+func TestCampaignResumeOracleSetChange(t *testing.T) {
+	base := storeOptions(2)
+	base.Engines = []string{"sqlite", "mysql"}
+	base.Oracles = []Oracle{OracleQPG, OracleCERT, OracleBounds}
+	base.Queries = 5
+
+	dir := t.TempDir()
+	log := mustOpenLog(t, dir)
+	opts := base
+	opts.Store = log
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]Oracle{
+		"added":     {OracleQPG, OracleCERT, OracleBounds, OracleTLP},
+		"removed":   {OracleQPG, OracleCERT},
+		"reordered": {OracleCERT, OracleQPG, OracleBounds},
+	}
+	for name, oracles := range cases {
+		log := mustOpenLog(t, dir)
+		opts := base
+		opts.Store = log
+		opts.Resume = true
+		opts.Oracles = oracles
+		if _, err := Run(opts); err == nil || !strings.Contains(err.Error(), "config stamp") {
+			t.Errorf("%s oracle set must be refused on resume, got %v", name, err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The identical set still resumes (and replays without re-running).
+	log = mustOpenLog(t, dir)
+	opts = base
+	opts.Store = log
+	opts.Resume = true
+	reran := 0
+	opts.OnProgress = func(pstore.TaskProgress) { reran++ }
+	if _, err := Run(opts); err != nil {
+		t.Fatalf("identical oracle set must resume: %v", err)
+	}
+	if reran != 0 {
+		t.Errorf("replay of a finished run re-ran %d tasks", reran)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignOracleStats pins the per-oracle aggregation: every
+// configured oracle gets an aggregate, their query counts sum to the
+// fleet total, and the bounds oracle's named extra counters surface.
+func TestCampaignOracleStats(t *testing.T) {
+	opts := testOptions(2)
+	opts.Engines = []string{"postgresql", "sqlite"}
+	opts.Queries = 10
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Stats.Oracles), len(AllOracles()); got != want {
+		t.Fatalf("Oracles has %d entries, want %d", got, want)
+	}
+	sum := 0
+	for _, name := range AllOracles() {
+		os := res.Stats.Oracles[name]
+		if os == nil {
+			t.Fatalf("no aggregate for oracle %q", name)
+		}
+		if os.Oracle != name {
+			t.Errorf("aggregate for %q names itself %q", name, os.Oracle)
+		}
+		sum += os.Queries
+	}
+	if sum != res.Stats.Queries {
+		t.Errorf("per-oracle queries sum %d != fleet total %d", sum, res.Stats.Queries)
+	}
+	bo := res.Stats.Oracles[OracleBounds]
+	if bo.Queries == 0 {
+		t.Error("bounds oracle processed no queries")
+	}
+	// sqlite exposes no estimates, so the bounds task there must have
+	// counted no-estimate skips under its named extra counter.
+	if bo.Extra["no-estimate"] == 0 {
+		t.Errorf("bounds extra counters missing no-estimate skips: %+v", bo.Extra)
+	}
+	if order := res.Stats.ByOracle(); len(order) != len(AllOracles()) || order[0].Oracle != OracleQPG {
+		t.Errorf("ByOracle order wrong: %+v", order)
+	}
+}

@@ -52,6 +52,37 @@ func (es *EngineStats) NewPlanRate() float64 {
 	return float64(es.NewPlans) / float64(es.PlanQueries)
 }
 
+// OracleStats aggregates one oracle's campaign outcomes across every
+// engine it ran against — the transpose of EngineStats. The counter set
+// is the generic oracle.Counters vocabulary; technique-specific signals
+// land in Extra under oracle-chosen names, so the orchestrator never
+// grows per-oracle fields.
+type OracleStats struct {
+	// Oracle is the oracle's registry name ("qpg", …).
+	Oracle string
+	// Queries counts generated queries the oracle's tasks processed.
+	Queries int
+	// Statements counts statements its engine instances executed.
+	Statements int
+	// PlanQueries, NewPlans, DistinctPlans, Mutations, Checks, and Skipped
+	// mirror the generic per-task counters (see oracle.Counters); an
+	// oracle leaves the ones it has no use for at zero.
+	PlanQueries   int
+	NewPlans      int
+	DistinctPlans int
+	Mutations     int
+	Checks        int
+	Skipped       int
+	// Findings is how many deduplicated findings this oracle produced.
+	Findings int
+	// ByKind breaks Findings down by kind.
+	ByKind map[Kind]int
+	// Extra sums the oracle-owned named counters its tasks reported (the
+	// bounds oracle's "unbounded" and "no-estimate"). Nil when the oracle
+	// reported none.
+	Extra map[string]int
+}
+
 // Stats aggregates a whole campaign run.
 type Stats struct {
 	// Queries, Statements, and Findings total the per-engine counts.
@@ -66,6 +97,8 @@ type Stats struct {
 	Elapsed time.Duration
 	// Engines holds the per-engine aggregates, keyed by engine.
 	Engines map[string]*EngineStats
+	// Oracles holds the per-oracle aggregates, keyed by oracle name.
+	Oracles map[string]*OracleStats
 }
 
 // QueriesPerSec is the fleet's generated-query throughput over the run's
@@ -95,6 +128,27 @@ func (s Stats) ByEngine() []*EngineStats {
 	return out
 }
 
+// ByOracle returns the per-oracle aggregates in canonical registry
+// order (unknown names, if any, after the registered ones, sorted).
+func (s Stats) ByOracle() []*OracleStats {
+	out := make([]*OracleStats, 0, len(s.Oracles))
+	seen := map[string]bool{}
+	for _, name := range AllOracles() {
+		if os := s.Oracles[name]; os != nil {
+			out = append(out, os)
+			seen[name] = true
+		}
+	}
+	rest := make([]*OracleStats, 0, len(s.Oracles))
+	for name, os := range s.Oracles {
+		if !seen[name] {
+			rest = append(rest, os)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Oracle < rest[j].Oracle })
+	return append(out, rest...)
+}
+
 // engineStats returns (creating if needed) the aggregate for an engine.
 func (s *Stats) engineStats(engine string) *EngineStats {
 	es := s.Engines[engine]
@@ -103,6 +157,19 @@ func (s *Stats) engineStats(engine string) *EngineStats {
 		s.Engines[engine] = es
 	}
 	return es
+}
+
+// oracleStats returns (creating if needed) the aggregate for an oracle.
+func (s *Stats) oracleStats(name string) *OracleStats {
+	if s.Oracles == nil {
+		s.Oracles = map[string]*OracleStats{}
+	}
+	os := s.Oracles[name]
+	if os == nil {
+		os = &OracleStats{Oracle: name, ByKind: map[Kind]int{}}
+		s.Oracles[name] = os
+	}
+	return os
 }
 
 // String renders the stats as a fixed-width per-engine table with a totals
@@ -119,5 +186,26 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "%-12s %8d %8d %8s %7d %5s %7s %6s %6d   (%.3fs, %.0f q/s)\n",
 		"total", s.Queries, s.Statements, "", s.DistinctPlans, "", "", "", s.Findings,
 		s.Elapsed.Seconds(), s.QueriesPerSec())
+	if len(s.Oracles) > 0 {
+		fmt.Fprintf(&b, "%-12s %8s %8s %7s %6s %6s  %s\n",
+			"oracle", "queries", "checks", "skipped", "finds", "", "extra")
+		for _, os := range s.ByOracle() {
+			extra := ""
+			if len(os.Extra) > 0 {
+				keys := make([]string, 0, len(os.Extra))
+				for k := range os.Extra {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				parts := make([]string, 0, len(keys))
+				for _, k := range keys {
+					parts = append(parts, fmt.Sprintf("%s=%d", k, os.Extra[k]))
+				}
+				extra = strings.Join(parts, " ")
+			}
+			fmt.Fprintf(&b, "%-12s %8d %8d %7d %6d %6s  %s\n",
+				os.Oracle, os.Queries, os.Checks, os.Skipped, os.Findings, "", extra)
+		}
+	}
 	return b.String()
 }

@@ -105,6 +105,57 @@ func (t *Table) IndexOn(column string) *Index {
 	return nil
 }
 
+// UniqueOn reports whether the named column is, by itself, a key of the
+// table: declared PRIMARY KEY, or covered by a single-column unique (or
+// primary) index. A multi-column unique index keys only the column
+// combination, so it does not qualify. Nil-safe: a nil table, or a
+// ghost table registered with no columns and no indexes, has no keys.
+func (t *Table) UniqueOn(column string) bool {
+	if t == nil {
+		return false
+	}
+	if c := t.Column(column); c != nil && c.PrimaryKey {
+		return true
+	}
+	for _, ix := range t.Indexes {
+		if ix != nil && (ix.Unique || ix.Primary) &&
+			len(ix.Columns) == 1 && strings.EqualFold(ix.Columns[0], column) {
+			return true
+		}
+	}
+	return false
+}
+
+// PrimaryKeyColumns returns the declared PRIMARY KEY column names in
+// definition order. Nil-safe; empty for keyless and ghost tables.
+func (t *Table) PrimaryKeyColumns() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range t.Columns {
+		if c.PrimaryKey {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// UniqueColumns returns every column that alone keys the table (see
+// UniqueOn), in column definition order, without duplicates. Nil-safe.
+func (t *Table) UniqueColumns() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range t.Columns {
+		if t.UniqueOn(c.Name) {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
 // Schema is a collection of tables with their statistics.
 type Schema struct {
 	tables map[string]*Table

@@ -131,3 +131,61 @@ func TestColumnStatsSelectivity(t *testing.T) {
 		t.Error("nil TableStats.Column should be nil")
 	}
 }
+
+func TestKeyConstraintAccessors(t *testing.T) {
+	tbl := &Table{Name: "t", Columns: []Column{
+		{Name: "C0", Type: TInt, PrimaryKey: true},
+		{Name: "c1", Type: TInt},
+		{Name: "c2", Type: TText},
+		{Name: "c3", Type: TInt},
+	}, Indexes: []*Index{
+		{Name: "u1", Columns: []string{"c1"}, Unique: true},
+		// A multi-column unique index keys only the combination, so
+		// neither column alone qualifies.
+		{Name: "u23", Columns: []string{"c2", "c3"}, Unique: true},
+		{Name: "plain", Columns: []string{"c3"}},
+	}}
+	if !tbl.UniqueOn("c0") || !tbl.UniqueOn("C0") {
+		t.Error("declared primary key not recognized (case-insensitively)")
+	}
+	if !tbl.UniqueOn("C1") {
+		t.Error("single-column unique index not recognized")
+	}
+	if tbl.UniqueOn("c2") || tbl.UniqueOn("c3") {
+		t.Error("multi-column unique or non-unique index must not key a column")
+	}
+	if tbl.UniqueOn("missing") {
+		t.Error("unknown column reported as key")
+	}
+	if got := tbl.PrimaryKeyColumns(); len(got) != 1 || got[0] != "C0" {
+		t.Errorf("PrimaryKeyColumns = %v", got)
+	}
+	if got := tbl.UniqueColumns(); len(got) != 2 || got[0] != "C0" || got[1] != "c1" {
+		t.Errorf("UniqueColumns = %v (want definition order, no duplicates)", got)
+	}
+	// A primary index covering an already-PrimaryKey column must not
+	// duplicate it in UniqueColumns.
+	tbl.Indexes = append(tbl.Indexes, &Index{Name: "pk", Columns: []string{"c0"}, Primary: true})
+	if got := tbl.UniqueColumns(); len(got) != 2 {
+		t.Errorf("UniqueColumns duplicated a doubly-keyed column: %v", got)
+	}
+}
+
+// TestKeyConstraintAccessorsGhostTable pins the nil-safety contract the
+// bounds oracle relies on: ghost tables (registered with no columns and
+// no indexes, a shape the QPG mutator produces) and nil tables expose no
+// keys and never panic.
+func TestKeyConstraintAccessorsGhostTable(t *testing.T) {
+	ghost := &Table{Name: "ghost"}
+	if ghost.UniqueOn("c0") || ghost.PrimaryKeyColumns() != nil || ghost.UniqueColumns() != nil {
+		t.Error("ghost table must expose no keys")
+	}
+	withNilIndex := &Table{Name: "t", Indexes: []*Index{nil}}
+	if withNilIndex.UniqueOn("c0") {
+		t.Error("nil index entry must be skipped")
+	}
+	var nilTable *Table
+	if nilTable.UniqueOn("c0") || nilTable.PrimaryKeyColumns() != nil || nilTable.UniqueColumns() != nil {
+		t.Error("nil table must expose no keys")
+	}
+}

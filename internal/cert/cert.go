@@ -11,9 +11,8 @@ import (
 	"errors"
 	"fmt"
 
-	"uplan/internal/convert"
-	"uplan/internal/core"
 	"uplan/internal/dbms"
+	"uplan/internal/oracle"
 	"uplan/internal/sqlancer"
 )
 
@@ -50,33 +49,34 @@ const Tolerance = 1.01
 
 // Checker runs CERT against one engine.
 type Checker struct {
-	Engine    *dbms.Engine
-	converter convert.Converter
-	// aconv and arena give Estimate the allocation-lean arena-backed
-	// decode path: the plan is read for one property and discarded, so it
-	// lives in a checker-owned arena that is reset before the next decode.
-	aconv convert.ArenaConverter
-	arena *core.PlanArena
+	Engine *dbms.Engine
+	// dec gives Estimate the allocation-lean arena-backed decode path:
+	// the plan is read for one property and discarded, so it lives in a
+	// checker-owned arena that is reset before the next decode.
+	dec *oracle.Decoder
 	// Checked counts performed estimate comparisons.
 	Checked int
 	// Skipped counts pairs the engine could not plan (ErrUnplannable).
 	Skipped int
 }
 
-// New creates a CERT checker for the engine. The converter comes from the
-// shared per-dialect cache (one registry per process), not a per-checker
-// registry build.
+// New creates a CERT checker for the engine. The decoder's converter
+// comes from the shared per-dialect cache (one registry per process),
+// not a per-checker registry build.
 func New(e *dbms.Engine) (*Checker, error) {
-	conv, err := convert.Cached(e.Info.Name)
+	dec, err := oracle.NewDecoder(e.Info.Name)
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{Engine: e, converter: conv}
-	if ac, ok := conv.(convert.ArenaConverter); ok {
-		c.aconv = ac
-		c.arena = core.NewPlanArena()
+	return &Checker{Engine: e, dec: dec}, nil
+}
+
+// SetDecoder replaces the checker's plan decoder; the orchestrator uses
+// it to share the task-owned decoder it already built.
+func (c *Checker) SetDecoder(dec *oracle.Decoder) {
+	if dec != nil {
+		c.dec = dec
 	}
-	return c, nil
 }
 
 // Estimate returns the optimizer's root cardinality estimate for the
@@ -88,13 +88,7 @@ func (c *Checker) Estimate(query string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%w: %q: %v", ErrUnplannable, query, err)
 	}
-	var plan *core.Plan
-	if c.aconv != nil {
-		c.arena.Reset()
-		plan, err = c.aconv.ConvertIn(serialized, c.arena)
-	} else {
-		plan, err = c.converter.Convert(serialized)
-	}
+	plan, err := c.dec.Decode(serialized)
 	if err != nil {
 		return 0, fmt.Errorf("cert: %s plan for %q did not convert: %w",
 			c.Engine.Info.Name, query, err)

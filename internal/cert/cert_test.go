@@ -190,7 +190,7 @@ func TestCheckerSharesCachedConverter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.converter != b.converter {
+	if a.dec.Converter() != b.dec.Converter() {
 		t.Error("checkers built separate converters — the registry is being rebuilt per checker")
 	}
 }

@@ -18,9 +18,17 @@ var OracleErrDeny = []string{
 	"uplan/internal/dbms.Engine.Explain",
 	"uplan/internal/dbms.Engine.ExplainAnalyze",
 	"uplan/internal/dbms.Engine.Analyze",
-	// Oracles.
+	// Oracles. Oracle.Run is the interface-level entry every registered
+	// technique is dispatched through: its error is the task's hard
+	// failure, and a caller that discards it reports a silently-empty task
+	// as a clean one.
+	"uplan/internal/oracle.Oracle.Run",
+	"uplan/internal/oracle.ApplySchema",
+	"uplan/internal/oracle.Decoder.Decode",
 	"uplan/internal/cert.Checker.CheckPair",
 	"uplan/internal/cert.Checker.Run",
+	"uplan/internal/cert.Checker.Estimate",
+	"uplan/internal/bounds.Checker.Check",
 	"uplan/internal/tlp.Check",
 	"uplan/internal/qpg.Campaign.Setup",
 	// Execution and conversion: a dropped error here silently turns a
@@ -75,6 +83,7 @@ var oracleErrSentinels = map[string]string{
 	"not plannable":            "cert.ErrUnplannable",
 	"no cardinality estimate":  "cert.ErrNoEstimate",
 	"exposes no estimate":      "cert.ErrNoEstimate",
+	"no provable output-size":  "bounds.ErrNoBound",
 }
 
 // OracleErr generalizes the dropped-oracle-signal bug class: discarded

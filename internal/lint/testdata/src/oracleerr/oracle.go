@@ -7,8 +7,11 @@ package oracleerr
 import (
 	"strings"
 
+	"uplan/internal/bounds"
 	"uplan/internal/dbms"
+	"uplan/internal/oracle"
 	"uplan/internal/pipeline"
+	"uplan/internal/sqlancer"
 	"uplan/internal/store"
 )
 
@@ -65,6 +68,32 @@ func prefixFilter(err error) bool {
 // compareText string-compares the rendered error.
 func compareText(err error) bool {
 	return err.Error() == "ghost table" // want `comparing err\.Error\(\) text`
+}
+
+// dropOracleRun dispatches a registered oracle but drops the hard-failure
+// error: a task that never set up its schema reports as a clean zero.
+func dropOracleRun(o oracle.Oracle, tc *oracle.TaskContext) oracle.TaskReport {
+	rep, _ := o.Run(tc) // want `error result of oracle\.Oracle\.Run assigned to _`
+	return rep
+}
+
+// dropSchemaAndDecode discards the shared setup and decode errors every
+// generator-driven oracle depends on.
+func dropSchemaAndDecode(e *dbms.Engine, gen *sqlancer.Generator, d *oracle.Decoder, s string) {
+	oracle.ApplySchema(e, gen, 2, 12) // want `error result of oracle\.ApplySchema discarded \(bare call\)`
+	_, _ = d.Decode(s)                // want `error result of oracle\.Decoder\.Decode assigned to _`
+}
+
+// dropBoundsCheck keeps the violation but discards the error that
+// distinguishes an unbounded skip from a plan-conversion finding.
+func dropBoundsCheck(c *bounds.Checker, q string) *bounds.Violation {
+	v, _ := c.Check(q) // want `error result of bounds\.Checker\.Check assigned to _`
+	return v
+}
+
+// brittleBoundFilter matches the bounds skip sentinel by message text.
+func brittleBoundFilter(err error) bool {
+	return strings.Contains(err.Error(), "no provable output-size bound") // want `an errors\.Is sentinel exists: bounds\.ErrNoBound`
 }
 
 // dropDurability discards the store's durability errors: the finding

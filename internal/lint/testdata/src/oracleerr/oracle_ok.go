@@ -4,7 +4,9 @@ import (
 	"errors"
 	"strings"
 
+	"uplan/internal/bounds"
 	"uplan/internal/dbms"
+	"uplan/internal/oracle"
 	"uplan/internal/pipeline"
 	"uplan/internal/store"
 )
@@ -51,6 +53,25 @@ func campaignWorkersRecord(e *dbms.Engine, qs []string, errs []error) {
 			}
 		},
 		func(s int) {})
+}
+
+// dispatchHandled runs an oracle the way the orchestrator does: the
+// report and the hard failure both flow into the task delta.
+func dispatchHandled(o oracle.Oracle, tc *oracle.TaskContext) (oracle.TaskReport, error) {
+	rep, err := o.Run(tc)
+	return rep, err
+}
+
+// boundsSentinelMatch classifies bounds skips the approved way.
+func boundsSentinelMatch(c *bounds.Checker, q string) (bool, error) {
+	v, err := c.Check(q)
+	if errors.Is(err, bounds.ErrNoBound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return v != nil, nil
 }
 
 // journalHandled captures the store's durability errors sticky, the way

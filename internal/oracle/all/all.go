@@ -1,0 +1,14 @@
+// Package all links the built-in oracle implementations into the
+// process by importing their packages for registration side effects —
+// the driver-registration idiom. The campaign orchestrator (and any
+// binary that runs campaigns) imports this package; nothing here is
+// referenced by name, which is what keeps the orchestrator free of
+// per-oracle knowledge.
+package all
+
+import (
+	_ "uplan/internal/bounds" // cardinality-bounds oracle
+	_ "uplan/internal/cert"   // estimate-monotonicity oracle
+	_ "uplan/internal/qpg"    // plan-guided generation + differential oracle
+	_ "uplan/internal/tlp"    // ternary logic partitioning oracle
+)

@@ -1,0 +1,98 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"uplan/internal/core"
+	"uplan/internal/oracle"
+	_ "uplan/internal/oracle/all"
+)
+
+// TestRegistryCanonicalOrder pins the registered set and its order:
+// explicit ranks, not init timing, decide it — init order across sibling
+// packages is unspecified in Go.
+func TestRegistryCanonicalOrder(t *testing.T) {
+	got := oracle.Names()
+	want := []string{"qpg", "cert", "tlp", "bounds"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range oracle.Names() {
+		o, ok := oracle.Lookup(name)
+		if !ok {
+			t.Fatalf("registered oracle %q not found", name)
+		}
+		if o.Name() != name {
+			t.Errorf("oracle registered as %q names itself %q", name, o.Name())
+		}
+	}
+	if _, ok := oracle.Lookup("nope"); ok {
+		t.Error("unknown oracle resolved")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	existing, _ := oracle.Lookup("qpg")
+	oracle.Register(existing, 99)
+}
+
+// TestDeriveSeedIdentity pins the derivation: stable across calls, and
+// distinct per task identity so no two tasks share a generator stream.
+func TestDeriveSeedIdentity(t *testing.T) {
+	seen := map[int64]string{}
+	for _, engine := range []string{"postgresql", "sqlite"} {
+		for _, name := range oracle.Names() {
+			s := oracle.DeriveSeed(42, engine, name)
+			if s != oracle.DeriveSeed(42, engine, name) {
+				t.Fatalf("%s/%s: derivation not stable", engine, name)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("%s/%s collides with %s", engine, name, prev)
+			}
+			seen[s] = engine + "/" + name
+		}
+	}
+	// The identity is delimited, not concatenated: ("ab","c") != ("a","bc").
+	if oracle.DeriveSeed(1, "ab", "c") == oracle.DeriveSeed(1, "a", "bc") {
+		t.Error("engine/oracle boundary not delimited in the seed derivation")
+	}
+}
+
+// TestTaskContextNilHooks pins standalone use: with no orchestrator hooks
+// attached, every finding is new, plans are never globally new, and the
+// task never stops early.
+func TestTaskContextNilHooks(t *testing.T) {
+	tc := &oracle.TaskContext{}
+	if !tc.Emit(oracle.Finding{Kind: oracle.KindLogic}) {
+		t.Error("Emit without a Report hook must count as new")
+	}
+	if tc.Observe(&core.Plan{}) {
+		t.Error("Observe without a hook must report not-new")
+	}
+	if !tc.Alive(5) {
+		t.Error("Alive without a Tick hook must keep running")
+	}
+}
+
+func TestCountersAddExtra(t *testing.T) {
+	var c oracle.Counters
+	c.AddExtra("unbounded", 2)
+	c.AddExtra("unbounded", 3)
+	c.AddExtra("no-estimate", 1)
+	if c.Extra["unbounded"] != 5 || c.Extra["no-estimate"] != 1 {
+		t.Errorf("Extra = %v", c.Extra)
+	}
+}

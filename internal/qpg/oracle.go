@@ -1,0 +1,54 @@
+package qpg
+
+import (
+	"uplan/internal/core"
+	"uplan/internal/oracle"
+)
+
+// OracleName is QPG's registry key.
+const OracleName = "qpg"
+
+func init() { oracle.Register(TaskOracle{}, 0) }
+
+// TaskOracle is QPG's oracle.Oracle implementation: a full plan-guided
+// campaign (plan guidance, differential and TLP oracles, mutation
+// feedback) run as one orchestrator task, streaming every observed
+// unified plan into the shared cross-engine set.
+type TaskOracle struct{}
+
+// Name implements oracle.Oracle.
+func (TaskOracle) Name() string { return OracleName }
+
+// Run implements oracle.Oracle.
+func (TaskOracle) Run(tc *oracle.TaskContext) (oracle.TaskReport, error) {
+	var rep oracle.TaskReport
+	qopts := Options{
+		Queries:        tc.Queries,
+		StallThreshold: tc.StallThreshold,
+		Seed:           tc.Seed,
+		MaxFindings:    tc.MaxFindings,
+	}
+	c, err := New(tc.Engine, qopts)
+	if err != nil {
+		return rep, err
+	}
+	c.SetDecoder(tc.Decoder)
+	if tc.ObservePlan != nil {
+		// The campaign's hot loop decodes plans into a reused arena; the
+		// observer must only fingerprint, never retain.
+		c.Observer = func(p *core.Plan) { tc.Observe(p) }
+	}
+	c.Tick = tc.Tick
+	if err := c.Setup(tc.Tables, tc.Rows); err != nil {
+		return rep, err
+	}
+	for _, f := range c.Run(qopts) {
+		tc.Emit(oracle.Finding{Kind: oracle.Kind(f.Kind), Query: f.Query, Detail: f.Detail})
+	}
+	rep.Queries = c.QueriesRun
+	rep.PlanQueries = c.PlansObserved
+	rep.NewPlans = c.NewPlans
+	rep.DistinctPlans = c.Plans.Size()
+	rep.Mutations = c.Mutations
+	return rep, nil
+}

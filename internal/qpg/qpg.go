@@ -12,10 +12,10 @@ import (
 	"errors"
 	"fmt"
 
-	"uplan/internal/convert"
 	"uplan/internal/core"
 	"uplan/internal/dbms"
 	"uplan/internal/exec"
+	"uplan/internal/oracle"
 	"uplan/internal/sqlancer"
 	"uplan/internal/tlp"
 )
@@ -91,13 +91,12 @@ type Campaign struct {
 	// yields mid-run instead of only between tasks.
 	Tick func(queriesRun int) bool
 
-	converter convert.Converter
-	// aconv and arena implement the allocation-lean observation loop: when
-	// the dialect's converter supports arenas, every plan is decoded into
-	// one campaign-owned arena that is reset before the next query, so a
-	// warmed-up campaign observes plans with no slab allocations.
-	aconv convert.ArenaConverter
-	arena *core.PlanArena
+	// dec implements the allocation-lean observation loop: when the
+	// dialect's converter supports arenas, every plan is decoded into one
+	// campaign-owned arena that is reset before the next query, so a
+	// warmed-up campaign observes plans with no slab allocations. The
+	// orchestrator shares its per-task decoder via SetDecoder.
+	dec *oracle.Decoder
 }
 
 // New creates a campaign for the given engine dialect. The reference
@@ -109,8 +108,8 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 	}
 	// The campaign converts one plan per generated query; the shared
 	// cached converter (streaming JSON decoder, lock-free registry
-	// snapshot) keeps that loop allocation-lean.
-	conv, err := convert.Cached(target.Info.Name)
+	// snapshot) behind the decoder keeps that loop allocation-lean.
+	dec, err := oracle.NewDecoder(target.Info.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -128,13 +127,18 @@ func New(target *dbms.Engine, opts Options) (*Campaign, error) {
 		Plans: core.NewFingerprintSet(core.FingerprintOptions{
 			IncludeConfiguration: true,
 		}),
-		converter: conv,
-	}
-	if ac, ok := conv.(convert.ArenaConverter); ok {
-		c.aconv = ac
-		c.arena = core.NewPlanArena()
+		dec: dec,
 	}
 	return c, nil
+}
+
+// SetDecoder replaces the campaign's plan decoder. The orchestrator uses
+// it to share the task-owned decoder it already built for the engine's
+// dialect instead of carrying two arenas per task.
+func (c *Campaign) SetDecoder(dec *oracle.Decoder) {
+	if dec != nil {
+		c.dec = dec
+	}
 }
 
 // Setup creates the random schema on both engines.
@@ -206,16 +210,10 @@ func (c *Campaign) observePlan(query string) (fresh, ok bool) {
 		c.report(KindCrash, query, "EXPLAIN failed: "+err.Error())
 		return false, false
 	}
-	var plan *core.Plan
-	if c.aconv != nil {
-		// Arena-backed ConvertInto path: the plan lives in the campaign's
-		// reused arena until the next observation resets it; the
-		// fingerprint set and the observer only read it.
-		c.arena.Reset()
-		plan, err = c.aconv.ConvertIn(serialized, c.arena)
-	} else {
-		plan, err = c.converter.Convert(serialized)
-	}
+	// Arena-backed decode path: the plan lives in the campaign's reused
+	// arena until the next observation resets it; the fingerprint set and
+	// the observer only read it.
+	plan, err := c.dec.Decode(serialized)
 	if err != nil {
 		c.report(KindPlan, query, err.Error())
 		return false, false

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/fnv"
+	"sort"
 )
 
 // Finding is one persisted campaign discovery. The store keeps its own
@@ -51,6 +52,11 @@ type TaskProgress struct {
 	Mutations     int
 	Checks        int
 	Skipped       int
+	// Extra carries oracle-owned named counters (the bounds oracle's
+	// "unbounded", for instance). Encoded as an optional sorted tail after
+	// the fixed counters: records written without it decode with a nil
+	// map, so old logs stay readable.
+	Extra map[string]int
 }
 
 // Key returns the progress record's task identity.
@@ -126,6 +132,25 @@ func appendProgressPayload(dst []byte, p TaskProgress) []byte {
 		}
 		dst = binary.AppendUvarint(dst, uint64(n))
 	}
+	// Optional extra-counter tail: entry count, then sorted (name, value)
+	// pairs. Omitted entirely when empty so records without extras keep
+	// their original byte form; sorted so encoding is deterministic.
+	if len(p.Extra) > 0 {
+		keys := make([]string, 0, len(p.Extra))
+		for k := range p.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = appendString(dst, k)
+			n := p.Extra[k]
+			if n < 0 {
+				n = 0
+			}
+			dst = binary.AppendUvarint(dst, uint64(n))
+		}
+	}
 	return dst
 }
 
@@ -150,6 +175,26 @@ func decodeProgressPayload(b []byte) (TaskProgress, error) {
 	} {
 		if *dst, b, err = readUvarint(b); err != nil {
 			return TaskProgress{}, err
+		}
+	}
+	if len(b) > 0 {
+		var count int
+		if count, b, err = readUvarint(b); err != nil {
+			return TaskProgress{}, err
+		}
+		if count > 0 {
+			p.Extra = make(map[string]int, count)
+			for i := 0; i < count; i++ {
+				var k string
+				var n int
+				if k, b, err = readString(b); err != nil {
+					return TaskProgress{}, err
+				}
+				if n, b, err = readUvarint(b); err != nil {
+					return TaskProgress{}, err
+				}
+				p.Extra[k] = n
+			}
 		}
 	}
 	if len(b) != 0 {

@@ -514,15 +514,22 @@ func TestProgressPayloadRoundTrip(t *testing.T) {
 		{},
 		{Engine: "postgresql", Oracle: "qpg", Done: true, Queries: 1 << 30, Statements: 7, PlanQueries: 3, NewPlans: 2, DistinctPlans: 9, Mutations: 1, Checks: 0, Skipped: 5},
 		{Engine: "", Oracle: "tlp", Queries: 0},
+		{Engine: "sqlite", Oracle: "bounds", Done: true, Queries: 25, Skipped: 11, Extra: map[string]int{"unbounded": 7, "no-estimate": 4}},
 	}
 	for i, p := range cases {
 		got, err := decodeProgressPayload(appendProgressPayload(nil, p))
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		if got != p {
+		if !reflect.DeepEqual(got, p) {
 			t.Fatalf("case %d: %+v != %+v", i, got, p)
 		}
+	}
+	// Records written before the extra-counter tail existed decode with a
+	// nil Extra map; the tail is strictly optional.
+	legacy := appendProgressPayload(nil, TaskProgress{Engine: "mysql", Oracle: "cert", Done: true, Queries: 3})
+	if got, err := decodeProgressPayload(legacy); err != nil || got.Extra != nil {
+		t.Fatalf("legacy payload: %+v, %v", got, err)
 	}
 	if _, err := decodeProgressPayload([]byte{0, 0, 2}); err == nil {
 		t.Error("bad done flag must be rejected")

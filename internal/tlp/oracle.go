@@ -1,0 +1,67 @@
+package tlp
+
+import (
+	"errors"
+
+	"uplan/internal/exec"
+	"uplan/internal/oracle"
+	"uplan/internal/sqlancer"
+)
+
+// OracleName is TLP's registry key.
+const OracleName = "tlp"
+
+func init() { oracle.Register(TaskOracle{}, 2) }
+
+// TaskOracle is the standalone TLP oracle loop as an oracle.Oracle:
+// partition every random predicate into φ / NOT φ / φ IS NULL and
+// compare the union with the unpartitioned result.
+type TaskOracle struct{}
+
+// Name implements oracle.Oracle.
+func (TaskOracle) Name() string { return OracleName }
+
+// Run implements oracle.Oracle.
+func (TaskOracle) Run(tc *oracle.TaskContext) (oracle.TaskReport, error) {
+	var rep oracle.TaskReport
+	gen := sqlancer.New(tc.Seed)
+	if err := oracle.ApplySchema(tc.Engine, gen, tc.Tables, tc.Rows); err != nil {
+		return rep, err
+	}
+	found := 0
+	for i := 0; i < tc.Queries; i++ {
+		if tc.MaxFindings > 0 && found >= tc.MaxFindings {
+			break
+		}
+		if !tc.Alive(rep.Queries) {
+			break
+		}
+		rep.Queries++
+		table, pred := gen.PartitionableQuery()
+		v, err := Check(tc.Engine, table, pred)
+		var f oracle.Finding
+		switch {
+		case errors.Is(err, exec.ErrUnresolvedColumn):
+			// Generator noise: the predicate names a column this table
+			// lacks.
+			rep.Skipped++
+			continue
+		case err != nil:
+			f = oracle.Finding{
+				Kind: oracle.KindCrash, Query: "TLP " + table + " / " + pred,
+				Detail: err.Error(),
+			}
+		case v != nil:
+			f = oracle.Finding{
+				Kind: oracle.KindLogic, Query: v.Base + " WHERE " + pred,
+				Detail: v.Detail,
+			}
+		default:
+			continue
+		}
+		if tc.Emit(f) {
+			found++
+		}
+	}
+	return rep, nil
+}

@@ -192,8 +192,10 @@ type (
 	CampaignStats = campaign.Stats
 	// CampaignEngineStats is one engine's aggregate within CampaignStats.
 	CampaignEngineStats = campaign.EngineStats
-	// CampaignOracle names a DBMS-agnostic testing technique ("qpg",
-	// "cert", "tlp").
+	// CampaignOracleStats is one oracle's aggregate within CampaignStats.
+	CampaignOracleStats = campaign.OracleStats
+	// CampaignOracle names a registered DBMS-agnostic testing technique
+	// ("qpg", "cert", "tlp", "bounds"); CampaignOracles lists them.
 	CampaignOracle = campaign.Oracle
 	// CampaignEngine is one simulated engine instance — the value
 	// CampaignOptions.Inject receives, so facade users can plant defects
@@ -237,8 +239,14 @@ func OpenStore(dir string, opts PlanStoreOptions) (*PlanStore, error) {
 // DefaultCampaignOptions returns the campaign budget the smoke runs use.
 func DefaultCampaignOptions() CampaignOptions { return campaign.DefaultOptions() }
 
-// RunCampaigns fans the QPG, CERT, and TLP testing campaigns out across
-// the simulated engines (all nine by default) on a bounded worker pool —
+// CampaignOracles lists the registered testing oracles in canonical
+// order — "qpg", "cert", "tlp", "bounds" for the built-in set. Use the
+// names in CampaignOptions.Oracles to run a subset.
+func CampaignOracles() []CampaignOracle { return campaign.AllOracles() }
+
+// RunCampaigns fans every registered testing oracle — QPG, CERT, TLP,
+// and the cardinality-bounds oracle by default — out across the
+// simulated engines (all nine by default) on a bounded worker pool —
 // the paper's application A.1 run fleet-wide. Findings are deduplicated
 // in a race-safe cross-engine store and returned in canonical order; each
 // (engine, oracle) task derives its generator seed from
